@@ -1,0 +1,45 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench tables examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table of the paper (plus the extension studies).
+tables:
+	$(GO) run ./cmd/dbmsim -table all
+
+# Run every example application.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/banking
+	$(GO) run ./examples/parallellog
+	$(GO) run ./examples/comparison
+	$(GO) run ./examples/hotspot
+	$(GO) run ./examples/hypothetical
+	$(GO) run ./examples/debitcredit
+
+# Short runs of the native fuzz targets.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzUnmarshalRecord -fuzztime 10s ./internal/wal/
+	$(GO) test -run xxx -fuzz FuzzDecodePage -fuzztime 10s ./internal/relation/
+	$(GO) test -run xxx -fuzz FuzzDecodeTuple -fuzztime 10s ./internal/relation/
+
+clean:
+	rm -rf internal/*/testdata/fuzz

@@ -1,0 +1,68 @@
+// Command dbmsim regenerates the evaluation tables of "Recovery
+// Architectures for Multiprocessor Database Machines" (Agrawal & DeWitt,
+// 1985) from the simulator in this repository.
+//
+// Usage:
+//
+//	dbmsim -table all            # every table (1-12) plus the bandwidth study
+//	dbmsim -table 3              # just Table 3
+//	dbmsim -table bandwidth      # the Section 4.1.3 interconnect study
+//	dbmsim -table all -txns 12   # faster, reduced load
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", `experiment to run: 1..12, an extension id (see -list), or "all"`)
+	txns := flag.Int("txns", 0, "transactions per simulation (0 = paper-scale default)")
+	seed := flag.Int64("seed", 0, "base random seed (0 = default)")
+	format := flag.String("format", "text", `output format: "text" or "md"`)
+	profile := flag.String("profile", "", `instead of a table, profile one run: machine config ("conv-random", "par-random", "conv-seq", "par-seq")`)
+	recovery := flag.String("recovery", "bare", "recovery architecture for -profile")
+	list := flag.Bool("list", false, "list the available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	if *profile != "" {
+		if err := runProfile(*profile, *recovery, *txns, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "dbmsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	opt := experiments.Options{NumTxns: *txns, Seed: *seed}
+	ids := experiments.IDs()
+	if *table != "all" {
+		id := *table
+		if _, err := strconv.Atoi(id); err == nil {
+			id = "table" + id
+		}
+		ids = []string{id}
+	}
+	for _, id := range ids {
+		tab, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbmsim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *format == "md" {
+			fmt.Print(tab.RenderMarkdown())
+		} else {
+			fmt.Println(tab.Render())
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/recovery/difffile"
+	"repro/internal/recovery/logging"
+	"repro/internal/recovery/shadow"
+	"repro/internal/sim"
+)
+
+// runProfile executes a single simulation with utilization sampling and
+// prints the timeline as sparklines.
+func runProfile(configName, recoveryName string, txns int, seed int64) error {
+	cfg := machine.DefaultConfig()
+	switch strings.ToLower(configName) {
+	case "conv-random", "":
+	case "par-random":
+		cfg.ParallelDisks = true
+	case "conv-seq":
+		cfg.Workload.Sequential = true
+	case "par-seq":
+		cfg.ParallelDisks = true
+		cfg.Workload.Sequential = true
+	default:
+		return fmt.Errorf("unknown config %q (conv-random, par-random, conv-seq, par-seq)", configName)
+	}
+	var model machine.Model
+	switch strings.ToLower(recoveryName) {
+	case "bare", "":
+	case "logging":
+		model = logging.New(logging.Config{})
+	case "logging-physical":
+		model = logging.New(logging.Config{Mode: logging.Physical})
+	case "shadow":
+		model = shadow.NewPageTable(shadow.Config{})
+	case "scrambled":
+		model = shadow.NewPageTable(shadow.Config{Scrambled: true})
+	case "version":
+		model = shadow.NewVersion(shadow.Config{})
+	case "overwrite":
+		model = shadow.NewOverwrite(shadow.Config{}, true)
+	case "difffile":
+		model = difffile.New(difffile.Config{})
+	default:
+		return fmt.Errorf("unknown recovery %q (bare, logging, logging-physical, shadow, scrambled, version, overwrite, difffile)", recoveryName)
+	}
+	if txns > 0 {
+		cfg.NumTxns = txns
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	cfg.ProfileEvery = sim.Ms(25)
+	res, err := machine.Run(cfg, model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s: exec/page %.1f ms, completion %.1f ms\n",
+		res.Name, configName, res.ExecPerPageMs, res.MeanCompletionMs)
+	fmt.Print(res.Profile.Render(72))
+	return nil
+}

@@ -1,0 +1,115 @@
+// Hotspot: what the paper leaves open — hot-spot (Zipf) workloads — studied
+// on both halves of the repository. The simulated machine shows lock waits
+// climbing as skew concentrates accesses; the functional WAL engine shows a
+// real hot page serializing writers (with deadlocks broken and retried) yet
+// still recovering a consistent counter after a crash.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/machine"
+	"repro/internal/recovery/logging"
+	"repro/internal/wal"
+)
+
+func main() {
+	simulated()
+	functional()
+}
+
+func simulated() {
+	fmt.Println("== simulated: Zipf reference strings on the paper's machine ==")
+	fmt.Printf("%-6s %10s %12s %10s\n", "skew", "ms/page", "completion", "lock waits")
+	for _, skew := range []float64{0, 1.2, 1.5, 2.0} {
+		cfg := machine.DefaultConfig()
+		cfg.NumTxns = 16
+		cfg.Workload.Skew = skew
+		res, err := machine.Run(cfg, logging.New(logging.Config{}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6.1f %10.1f %12.1f %10d\n",
+			skew, res.ExecPerPageMs, res.MeanCompletionMs, res.LockWaits)
+	}
+	fmt.Println("hot spots shorten seeks but pile transactions onto the same page locks.")
+}
+
+func enc(v int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}
+
+func dec(b []byte) int64 { return int64(binary.BigEndian.Uint64(b)) }
+
+func functional() {
+	fmt.Println("\n== functional: one hot counter page, eight writers, then a crash ==")
+	eng := engine.NewWAL(wal.Config{Streams: 2, Selection: wal.PageMod})
+	const hot = int64(0)
+	if err := eng.Load(hot, enc(0)); err != nil {
+		log.Fatal(err)
+	}
+	// Every writer also touches a private page first so lock ordering
+	// differs and deadlocks become possible.
+	for p := int64(1); p <= 8; p++ {
+		if err := eng.Load(p, enc(0)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	const perWorker = 100
+	var wg sync.WaitGroup
+	for w := int64(1); w <= 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				err := eng.Update(func(tx *engine.Txn) error {
+					// Half the workers grab the hot page first, half last.
+					first, second := hot, w
+					if w%2 == 0 {
+						first, second = w, hot
+					}
+					v1, err := tx.Read(first)
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(first, enc(dec(v1)+1)); err != nil {
+						return err
+					}
+					v2, err := tx.Read(second)
+					if err != nil {
+						return err
+					}
+					return tx.Write(second, enc(dec(v2)+1))
+				})
+				if err != nil {
+					log.Fatalf("worker %d: %v", w, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	commits, aborts, deadlocks := eng.Stats()
+	fmt.Printf("committed %d increments (%d deadlock victims retried, %d aborts)\n",
+		commits, deadlocks, aborts)
+
+	eng.Crash()
+	if err := eng.Recover(); err != nil {
+		log.Fatal(err)
+	}
+	v, err := eng.ReadCommitted(hot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hot counter after crash+recovery: %d (want %d)\n", dec(v), 8*perWorker)
+	if dec(v) != 8*perWorker {
+		log.Fatal("LOST UPDATES on the hot page")
+	}
+	fmt.Println("every committed increment survived the crash.")
+}

@@ -1,0 +1,114 @@
+// Package cache models the database machine's disk cache: a fixed pool of
+// page frames shared by all query processors, managed by the back-end
+// controller. The machine allocates a frame before reading a page and
+// releases it when the page has been processed or written back.
+//
+// The cache also accounts for the paper's key logging statistic: the number
+// of updated pages sitting in the cache waiting for their log records to
+// reach stable storage ("blocked" frames).
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Cache is a frame accountant with FIFO waiting for frame availability.
+type Cache struct {
+	eng    *sim.Engine
+	frames int
+	free   int
+
+	waiters []func()
+
+	usedTW    *sim.TimeWeighted
+	blockedTW *sim.TimeWeighted
+	blocked   int
+}
+
+// New returns a cache with the given number of page frames.
+func New(eng *sim.Engine, frames int) *Cache {
+	if frames <= 0 {
+		panic("cache: frame count must be positive")
+	}
+	return &Cache{
+		eng:       eng,
+		frames:    frames,
+		free:      frames,
+		usedTW:    sim.NewTimeWeighted(eng),
+		blockedTW: sim.NewTimeWeighted(eng),
+	}
+}
+
+// Frames reports the total frame count.
+func (c *Cache) Frames() int { return c.frames }
+
+// Free reports currently unallocated frames.
+func (c *Cache) Free() int { return c.free }
+
+// Used reports currently allocated frames.
+func (c *Cache) Used() int { return c.frames - c.free }
+
+// Waiting reports the number of pending Alloc callbacks.
+func (c *Cache) Waiting() int { return len(c.waiters) }
+
+// TryAlloc claims a frame immediately if one is free.
+func (c *Cache) TryAlloc() bool {
+	if c.free == 0 {
+		return false
+	}
+	c.free--
+	c.usedTW.Set(float64(c.Used()))
+	return true
+}
+
+// Alloc claims a frame, invoking grant immediately if one is free or when a
+// frame is released otherwise. Grants are FIFO.
+func (c *Cache) Alloc(grant func()) {
+	if c.TryAlloc() {
+		grant()
+		return
+	}
+	c.waiters = append(c.waiters, grant)
+}
+
+// Release returns one frame to the pool, handing it to the oldest waiter if
+// any.
+func (c *Cache) Release() {
+	if len(c.waiters) > 0 {
+		grant := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		// Frame passes directly to the waiter; usage is unchanged.
+		grant()
+		return
+	}
+	if c.free == c.frames {
+		panic(fmt.Sprintf("cache: release with all %d frames free", c.frames))
+	}
+	c.free++
+	c.usedTW.Set(float64(c.Used()))
+}
+
+// AdjustBlocked records a change in the number of updated pages blocked in
+// the cache waiting for their log records to be written.
+func (c *Cache) AdjustBlocked(delta int) {
+	c.blocked += delta
+	if c.blocked < 0 {
+		panic("cache: negative blocked count")
+	}
+	c.blockedTW.Set(float64(c.blocked))
+}
+
+// Blocked reports the current number of blocked updated pages.
+func (c *Cache) Blocked() int { return c.blocked }
+
+// MeanBlocked reports the time-weighted mean number of blocked pages — the
+// statistic the paper reports as "pages waiting for their log records".
+func (c *Cache) MeanBlocked() float64 { return c.blockedTW.Mean() }
+
+// MaxBlocked reports the peak number of blocked pages.
+func (c *Cache) MaxBlocked() float64 { return c.blockedTW.Max() }
+
+// MeanUsed reports the time-weighted mean number of allocated frames.
+func (c *Cache) MeanUsed() float64 { return c.usedTW.Mean() }

@@ -1,0 +1,97 @@
+// Package core is the top-level facade of the repository: it re-exports the
+// two halves of the reproduction behind a small, stable surface.
+//
+// Simulation half (the paper's evaluation): configure a multiprocessor
+// database machine, attach a recovery architecture, run a transaction load,
+// and read back the paper's metrics — or regenerate any of the paper's
+// twelve tables directly.
+//
+//	res, err := core.Simulate(core.MachineConfig(), core.ParallelLogging(logging.Config{}))
+//	tab, err := core.Experiment("table12", experiments.Options{})
+//
+// Functional half (real recovery): build a transactional engine over any of
+// the recovery architectures and run real transactions with page locking,
+// crash injection and restart recovery.
+//
+//	eng := core.WALEngine(wal.Config{Streams: 4})
+//	err := eng.Update(func(tx *engine.Txn) error { return tx.Write(1, data) })
+package core
+
+import (
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/recovery/difffile"
+	"repro/internal/recovery/logging"
+	"repro/internal/recovery/shadow"
+	"repro/internal/shadoweng"
+	"repro/internal/wal"
+)
+
+// MachineConfig returns the paper's standard database machine configuration
+// (25 query processors, 100 cache frames, 2 data disks, the 1..250-page
+// transaction load).
+func MachineConfig() machine.Config { return machine.DefaultConfig() }
+
+// Simulate runs one simulated transaction load on the machine described by
+// cfg under the given recovery model (nil = bare machine) and returns the
+// paper's metrics.
+func Simulate(cfg machine.Config, model machine.Model) (*machine.Result, error) {
+	return machine.Run(cfg, model)
+}
+
+// Bare returns the no-recovery baseline model.
+func Bare() machine.Model { return nil }
+
+// ParallelLogging returns the parallel-logging recovery architecture
+// (Section 3.1).
+func ParallelLogging(cfg logging.Config) machine.Model { return logging.New(cfg) }
+
+// ShadowPageTable returns the thru-page-table shadow architecture
+// (Section 3.2.1).
+func ShadowPageTable(cfg shadow.Config) machine.Model { return shadow.NewPageTable(cfg) }
+
+// ShadowVersionSelection returns the version-selection shadow architecture
+// (Section 3.2.2.1).
+func ShadowVersionSelection(cfg shadow.Config) machine.Model { return shadow.NewVersion(cfg) }
+
+// ShadowOverwriting returns an overwriting shadow architecture
+// (Section 3.2.2.2); noUndo selects the no-undo variant.
+func ShadowOverwriting(cfg shadow.Config, noUndo bool) machine.Model {
+	return shadow.NewOverwrite(cfg, noUndo)
+}
+
+// DifferentialFiles returns the differential-file recovery architecture
+// (Section 3.3).
+func DifferentialFiles(cfg difffile.Config) machine.Model { return difffile.New(cfg) }
+
+// Experiment regenerates one of the paper's evaluation tables ("table1"
+// through "table12", or "bandwidth").
+func Experiment(id string, opt experiments.Options) (*experiments.Table, error) {
+	return experiments.Run(id, opt)
+}
+
+// ExperimentIDs lists the available experiments in paper order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// WALEngine returns a functional transactional engine recovered by parallel
+// write-ahead logging.
+func WALEngine(cfg wal.Config) *engine.Engine { return engine.NewWAL(cfg) }
+
+// ShadowEngine returns a functional transactional engine recovered by
+// canonical shadow paging.
+func ShadowEngine() (*engine.Engine, error) { return engine.NewShadow() }
+
+// OverwriteEngine returns a functional transactional engine recovered by an
+// overwriting shadow architecture.
+func OverwriteEngine(variant shadoweng.Variant) *engine.Engine {
+	return engine.NewOverwrite(variant)
+}
+
+// VersionSelectEngine returns a functional transactional engine recovered by
+// version selection.
+func VersionSelectEngine() (*engine.Engine, error) { return engine.NewVersionSelect() }
+
+// DiffEngine returns a functional transactional engine recovered by
+// differential files.
+func DiffEngine() *engine.Engine { return engine.NewDiff() }

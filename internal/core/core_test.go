@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/recovery/difffile"
+	"repro/internal/recovery/logging"
+	"repro/internal/recovery/shadow"
+	"repro/internal/shadoweng"
+	"repro/internal/wal"
+)
+
+func TestSimulateFacade(t *testing.T) {
+	cfg := MachineConfig()
+	cfg.NumTxns = 8
+	cfg.Workload.MaxPages = 50
+	for _, m := range []machine.Model{
+		Bare(),
+		ParallelLogging(logging.Config{}),
+		ShadowPageTable(shadow.Config{}),
+		ShadowVersionSelection(shadow.Config{}),
+		ShadowOverwriting(shadow.Config{}, true),
+		ShadowOverwriting(shadow.Config{}, false),
+		DifferentialFiles(difffile.Config{}),
+	} {
+		res, err := Simulate(cfg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Committed != cfg.NumTxns {
+			t.Fatalf("%s: committed %d", res.Name, res.Committed)
+		}
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	tab, err := Experiment("table2", experiments.Options{NumTxns: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if len(ExperimentIDs()) != 22 {
+		t.Fatalf("ids = %v", ExperimentIDs())
+	}
+}
+
+func TestEngineFacades(t *testing.T) {
+	shadowEng, err := ShadowEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vsEng, err := VersionSelectEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []*engine.Engine{
+		WALEngine(wal.Config{Streams: 2}),
+		shadowEng,
+		OverwriteEngine(shadoweng.NoUndo),
+		OverwriteEngine(shadoweng.NoRedo),
+		vsEng,
+		DiffEngine(),
+	}
+	for _, e := range engines {
+		if err := e.Load(1, []byte("x")); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if err := e.Update(func(tx *engine.Txn) error { return tx.Write(1, []byte("y")) }); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		e.Crash()
+		if err := e.Recover(); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		got, err := e.ReadCommitted(1)
+		if err != nil || string(got) != "y" {
+			t.Fatalf("%s: %q %v", e.Name(), got, err)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package debitcredit implements the DebitCredit banking workload ("A
+// Measure of Transaction Processing Power", Datamation 1985 — the
+// contemporaneous benchmark of the paper's era and the ancestor of TPC-A/B)
+// on this repository's functional recovery engines.
+//
+// The schema is the classic one: branches, tellers (ten per branch),
+// accounts, and an append-only history file. Each transaction debits or
+// credits one account, its teller, and its branch, and appends a history
+// record; 15% of transactions touch an account of a *remote* branch. The
+// invariant — sum(accounts) = sum(tellers) = sum(branches), one history
+// record per commit — must hold at all times, including after a crash.
+package debitcredit
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+	"repro/internal/sim"
+)
+
+// Config shapes the bank.
+type Config struct {
+	Branches          int // default 2
+	TellersPerBranch  int // default 10
+	AccountsPerBranch int // default 100
+	HistoryPages      int // default 64
+	Seed              int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Branches == 0 {
+		c.Branches = 2
+	}
+	if c.TellersPerBranch == 0 {
+		c.TellersPerBranch = 10
+	}
+	if c.AccountsPerBranch == 0 {
+		c.AccountsPerBranch = 100
+	}
+	if c.HistoryPages == 0 {
+		c.HistoryPages = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1985
+	}
+	return c
+}
+
+// Bench is one DebitCredit bank over a transactional engine.
+type Bench struct {
+	cfg Config
+	eng *engine.Engine
+
+	accounts *relation.Fixed
+	tellers  *relation.Fixed
+	branches *relation.Fixed
+	history  *relation.Relation
+
+	historySeq atomic.Int64
+	commits    atomic.Int64
+	remote     atomic.Int64
+}
+
+// balance tuples store the amount as a decimal string.
+func bal(v int64) string { return strconv.FormatInt(v, 10) }
+
+func unbal(s string) int64 {
+	v, _ := strconv.ParseInt(s, 10, 64)
+	return v
+}
+
+// New lays the bank out over the engine's page space and loads the initial
+// rows (every balance starts at 0, so the grand total is 0 throughout).
+func New(eng *engine.Engine, cfg Config) (*Bench, error) {
+	cfg = cfg.withDefaults()
+	nAcct := int64(cfg.Branches * cfg.AccountsPerBranch)
+	nTell := int64(cfg.Branches * cfg.TellersPerBranch)
+	nBr := int64(cfg.Branches)
+
+	const slots = 16
+	acctPages := (nAcct + slots - 1) / slots
+	tellPages := (nTell + slots - 1) / slots
+	brPages := nBr // one branch per page: the classic hot spot
+
+	base := int64(0)
+	b := &Bench{cfg: cfg, eng: eng}
+	b.accounts = relation.NewFixed("accounts", base, acctPages, slots)
+	base += acctPages
+	b.tellers = relation.NewFixed("tellers", base, tellPages, slots)
+	base += tellPages
+	b.branches = relation.NewFixed("branches", base, brPages, 1)
+	base += brPages
+	b.history = relation.New("history", base, int64(cfg.HistoryPages))
+	base += int64(cfg.HistoryPages)
+
+	for p := int64(0); p < base; p++ {
+		if err := eng.Load(p, nil); err != nil {
+			return nil, err
+		}
+	}
+	err := eng.Update(func(tx *engine.Txn) error {
+		for i := int64(0); i < nAcct; i++ {
+			if err := b.accounts.Put(tx, relation.Tuple{Key: i, Value: bal(0)}); err != nil {
+				return err
+			}
+		}
+		for i := int64(0); i < nTell; i++ {
+			if err := b.tellers.Put(tx, relation.Tuple{Key: i, Value: bal(0)}); err != nil {
+				return err
+			}
+		}
+		for i := int64(0); i < nBr; i++ {
+			if err := b.branches.Put(tx, relation.Tuple{Key: i, Value: bal(0)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Transact runs one DebitCredit transaction for the given teller with the
+// given amount, choosing the account per the 85/15 local/remote rule.
+func (b *Bench) Transact(rng *sim.RNG, teller int64, amount int64) error {
+	cfg := b.cfg
+	branch := teller / int64(cfg.TellersPerBranch)
+	acctBranch := branch
+	if cfg.Branches > 1 && rng.Bool(0.15) {
+		// Remote account: any other branch.
+		off := int64(rng.UniformInt(1, cfg.Branches-1))
+		acctBranch = (branch + off) % int64(cfg.Branches)
+		b.remote.Add(1)
+	}
+	account := acctBranch*int64(cfg.AccountsPerBranch) + int64(rng.Intn(cfg.AccountsPerBranch))
+
+	err := b.eng.Update(func(tx *engine.Txn) error {
+		adjust := func(f *relation.Fixed, key int64) error {
+			t, ok, err := f.Get(tx, key)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("debitcredit: %s row %d missing", f.Name, key)
+			}
+			t.Value = bal(unbal(t.Value) + amount)
+			return f.Put(tx, t)
+		}
+		if err := adjust(b.accounts, account); err != nil {
+			return err
+		}
+		if err := adjust(b.tellers, teller); err != nil {
+			return err
+		}
+		if err := adjust(b.branches, branch); err != nil {
+			return err
+		}
+		seq := b.historySeq.Add(1)
+		return b.history.Insert(tx, relation.Tuple{
+			Key:   seq,
+			Value: fmt.Sprintf("t%d a%d %+d", teller, account, amount),
+		})
+	})
+	if err == nil {
+		b.commits.Add(1)
+	}
+	return err
+}
+
+// Run executes n transactions spread over the given worker goroutines.
+func (b *Bench) Run(n, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := sim.NewRNG(b.cfg.Seed + int64(w))
+			tellers := int64(b.cfg.Branches * b.cfg.TellersPerBranch)
+			for i := 0; i < n/workers; i++ {
+				teller := int64(rng.Intn(int(tellers)))
+				amount := int64(rng.UniformInt(-99, 99))
+				if err := b.Transact(rng, teller, amount); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Stats reports committed transactions and how many used a remote branch.
+func (b *Bench) Stats() (commits, remote int64) {
+	return b.commits.Load(), b.remote.Load()
+}
+
+// Verify checks the DebitCredit invariants against the committed state:
+// the three balance sums agree, and the history file has one record per
+// commit. Call when quiescent (e.g. after Recover).
+func (b *Bench) Verify() error {
+	return b.eng.Update(func(tx *engine.Txn) error {
+		sum := func(f *relation.Fixed) (int64, error) {
+			rows, err := f.ScanAll(tx)
+			if err != nil {
+				return 0, err
+			}
+			var s int64
+			for _, r := range rows {
+				s += unbal(r.Value)
+			}
+			return s, nil
+		}
+		sa, err := sum(b.accounts)
+		if err != nil {
+			return err
+		}
+		st, err := sum(b.tellers)
+		if err != nil {
+			return err
+		}
+		sb, err := sum(b.branches)
+		if err != nil {
+			return err
+		}
+		if sa != st || st != sb {
+			return fmt.Errorf("debitcredit: balance sums diverged: accounts=%d tellers=%d branches=%d",
+				sa, st, sb)
+		}
+		n, err := b.history.Count(tx)
+		if err != nil {
+			return err
+		}
+		if int64(n) != b.commits.Load() {
+			return fmt.Errorf("debitcredit: history has %d records for %d commits",
+				n, b.commits.Load())
+		}
+		return nil
+	})
+}
+
+// ResyncAfterRecovery re-derives the volatile counters (commit count,
+// history sequence) from the durable history file after a crash+recover, so
+// Verify and further Transact calls see a consistent world.
+func (b *Bench) ResyncAfterRecovery() error {
+	return b.eng.Update(func(tx *engine.Txn) error {
+		rows, err := b.history.Scan(tx, nil)
+		if err != nil {
+			return err
+		}
+		maxSeq := int64(0)
+		for _, r := range rows {
+			if r.Key > maxSeq {
+				maxSeq = r.Key
+			}
+		}
+		b.historySeq.Store(maxSeq)
+		b.commits.Store(int64(len(rows)))
+		return nil
+	})
+}

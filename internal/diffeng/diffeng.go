@@ -1,0 +1,390 @@
+// Package diffeng implements a functional differential-file recovery engine
+// (the paper's Section 3.3, after Severance & Lohman): the database is a
+// view R = (B ∪ A) − D of a read-only base file B, an additions file A and a
+// deletions file D. Transactions never touch B: an update appends the old
+// version's obituary to D and the new version to A; commit appends a commit
+// marker and forces the differential files. Recovery replays the stable A/D
+// tail, honouring only marked transactions — B itself is always consistent.
+//
+// Merge folds the committed differentials into a new base and truncates
+// A and D, the maintenance operation the paper sizes in Table 11.
+package diffeng
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/pagestore"
+)
+
+type entryType uint8
+
+const (
+	entryAdd entryType = iota + 1 // A-file record: new page version
+	entryDel                      // D-file record: previous version dead
+	entryCommit
+)
+
+// entry is one differential-file record.
+type entry struct {
+	typ  entryType
+	txn  uint64
+	page int64
+	data []byte
+}
+
+func (e entry) size() int { return 1 + 8 + 8 + 4 + len(e.data) }
+
+func (e entry) marshal(buf []byte) []byte {
+	buf = append(buf, byte(e.typ))
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], e.txn)
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(e.page))
+	buf = append(buf, tmp[:]...)
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(e.data)))
+	buf = append(buf, l[:]...)
+	return append(buf, e.data...)
+}
+
+func unmarshalEntry(buf []byte) (entry, int, error) {
+	const header = 21
+	if len(buf) < header {
+		return entry{}, 0, fmt.Errorf("diffeng: truncated entry header")
+	}
+	var e entry
+	e.typ = entryType(buf[0])
+	if e.typ < entryAdd || e.typ > entryCommit {
+		return entry{}, 0, fmt.Errorf("diffeng: corrupt entry type %d", buf[0])
+	}
+	e.txn = binary.BigEndian.Uint64(buf[1:])
+	e.page = int64(binary.BigEndian.Uint64(buf[9:]))
+	n := int(binary.BigEndian.Uint32(buf[17:]))
+	if len(buf) < header+n {
+		return entry{}, 0, fmt.Errorf("diffeng: truncated entry body")
+	}
+	if n > 0 {
+		e.data = append([]byte(nil), buf[header:header+n]...)
+	}
+	return e, header + n, nil
+}
+
+// Reserved page-id layout: base pages are the logical ids (>= 0);
+// differential chunks live below diffBase. Chunks are packed to the store's
+// page size, so a single entry (21-byte header + value) must fit in one
+// page; Write enforces that bound.
+const diffBase int64 = -4000000
+
+func chunkPage(seq int64) pagestore.PageID { return pagestore.PageID(diffBase - seq) }
+
+// version is a page's committed state in the differential view.
+type version struct {
+	deleted bool
+	data    []byte
+}
+
+// Engine is the differential-file engine. Safe for concurrent use;
+// isolation is the caller's job.
+type Engine struct {
+	mu    sync.Mutex
+	store *pagestore.Store
+
+	nextChunk int64
+	volatile  []entry // appended, not yet forced
+
+	view map[int64]version // committed differential view (A minus D)
+	att  map[uint64][]entry
+
+	adds, dels, commits, aborts, merges int64
+}
+
+// New creates a differential-file engine on store.
+func New(store *pagestore.Store) *Engine {
+	return &Engine{
+		store: store,
+		view:  make(map[int64]version),
+		att:   make(map[uint64][]entry),
+	}
+}
+
+// Name identifies the engine.
+func (e *Engine) Name() string { return "difffile" }
+
+// Load writes page p into the read-only base file B.
+func (e *Engine) Load(p int64, data []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store.Write(pagestore.PageID(p), data, 0)
+}
+
+// Begin starts transaction tid.
+func (e *Engine) Begin(tid uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.att[tid]; ok {
+		return fmt.Errorf("diffeng: transaction %d already active", tid)
+	}
+	e.att[tid] = nil
+	return nil
+}
+
+// Read resolves page p through (B ∪ A) − D as seen by tid, including its
+// own uncommitted differentials.
+func (e *Engine) Read(tid uint64, p int64) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// The transaction's own pending entries shadow everything.
+	if pend, ok := e.att[tid]; ok {
+		for i := len(pend) - 1; i >= 0; i-- {
+			if pend[i].page != p {
+				continue
+			}
+			switch pend[i].typ {
+			case entryAdd:
+				return append([]byte(nil), pend[i].data...), nil
+			case entryDel:
+				return nil, nil
+			}
+		}
+	}
+	return e.resolveCommitted(p)
+}
+
+func (e *Engine) resolveCommitted(p int64) ([]byte, error) {
+	if v, ok := e.view[p]; ok {
+		if v.deleted {
+			return nil, nil
+		}
+		return append([]byte(nil), v.data...), nil
+	}
+	data, _, err := e.store.Read(pagestore.PageID(p))
+	if errors.Is(err, pagestore.ErrNotFound) {
+		return nil, nil
+	}
+	return data, err
+}
+
+// Write replaces page p for tid: the old version's obituary goes to D and
+// the new version to A (buffered until commit).
+func (e *Engine) Write(tid uint64, p int64, data []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pend, ok := e.att[tid]
+	if !ok {
+		return fmt.Errorf("diffeng: transaction %d not active", tid)
+	}
+	add := entry{typ: entryAdd, txn: tid, page: p, data: append([]byte(nil), data...)}
+	if add.size() > e.store.PageSize() {
+		return fmt.Errorf("diffeng: value for page %d (%d bytes) exceeds the differential chunk size %d",
+			p, len(data), e.store.PageSize()-21)
+	}
+	e.att[tid] = append(pend, entry{typ: entryDel, txn: tid, page: p}, add)
+	return nil
+}
+
+// Delete removes page p from the view for tid (a pure D-file append).
+func (e *Engine) Delete(tid uint64, p int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pend, ok := e.att[tid]
+	if !ok {
+		return fmt.Errorf("diffeng: transaction %d not active", tid)
+	}
+	e.att[tid] = append(pend, entry{typ: entryDel, txn: tid, page: p})
+	return nil
+}
+
+// Commit appends tid's differentials plus a commit marker and forces them.
+// An error leaves the commit in doubt; recovery decides by the marker.
+func (e *Engine) Commit(tid uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pend, ok := e.att[tid]
+	if !ok {
+		return fmt.Errorf("diffeng: transaction %d not active", tid)
+	}
+	e.volatile = append(e.volatile, pend...)
+	e.volatile = append(e.volatile, entry{typ: entryCommit, txn: tid})
+	if err := e.force(); err != nil {
+		return fmt.Errorf("diffeng: commit %d in doubt: %w", tid, err)
+	}
+	e.applyCommitted(pend)
+	delete(e.att, tid)
+	e.commits++
+	return nil
+}
+
+func (e *Engine) applyCommitted(entries []entry) {
+	for _, en := range entries {
+		switch en.typ {
+		case entryAdd:
+			e.view[en.page] = version{data: en.data}
+			e.adds++
+		case entryDel:
+			e.view[en.page] = version{deleted: true}
+			e.dels++
+		}
+	}
+}
+
+// Abort drops tid's buffered differentials; nothing ever reached A or D.
+func (e *Engine) Abort(tid uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.att[tid]; !ok {
+		return fmt.Errorf("diffeng: transaction %d not active", tid)
+	}
+	delete(e.att, tid)
+	e.aborts++
+	return nil
+}
+
+// force persists the volatile differential tail in whole-entry chunks of at
+// most one store page each.
+func (e *Engine) force() error {
+	budget := e.store.PageSize()
+	i := 0
+	for i < len(e.volatile) {
+		var buf []byte
+		j := i
+		for j < len(e.volatile) {
+			if len(buf) > 0 && len(buf)+e.volatile[j].size() > budget {
+				break
+			}
+			buf = e.volatile[j].marshal(buf)
+			j++
+		}
+		if err := e.store.Write(chunkPage(e.nextChunk), buf, 0); err != nil {
+			e.volatile = append([]entry(nil), e.volatile[i:]...)
+			return err
+		}
+		e.nextChunk++
+		i = j
+	}
+	e.volatile = e.volatile[:0]
+	return nil
+}
+
+// Crash drops all volatile state (view cache, active transactions, unforced
+// differential tail).
+func (e *Engine) Crash() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.view = nil
+	e.att = nil
+	e.volatile = nil
+}
+
+// Recover rebuilds the committed view by replaying the stable differential
+// files; only transactions whose commit marker survived are applied.
+func (e *Engine) Recover() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.store.Reset()
+	entries, nextChunk, err := e.readStable()
+	if err != nil {
+		return err
+	}
+	e.nextChunk = nextChunk
+	committed := map[uint64]bool{}
+	for _, en := range entries {
+		if en.typ == entryCommit {
+			committed[en.txn] = true
+		}
+	}
+	e.view = make(map[int64]version)
+	e.adds, e.dels = 0, 0
+	for _, en := range entries {
+		if committed[en.txn] {
+			e.applyCommitted([]entry{en})
+		}
+	}
+	e.att = make(map[uint64][]entry)
+	e.volatile = nil
+	return nil
+}
+
+func (e *Engine) readStable() ([]entry, int64, error) {
+	var out []entry
+	seq := int64(0)
+	for {
+		buf, _, err := e.store.Read(chunkPage(seq))
+		if errors.Is(err, pagestore.ErrNotFound) {
+			return out, seq, nil
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		for len(buf) > 0 {
+			en, n, err := unmarshalEntry(buf)
+			if err != nil {
+				return nil, 0, err
+			}
+			out = append(out, en)
+			buf = buf[n:]
+		}
+		seq++
+	}
+}
+
+// Merge folds the committed differential view into the base file and
+// truncates A and D. It requires a quiescent engine (no active
+// transactions).
+func (e *Engine) Merge() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.att) > 0 {
+		return fmt.Errorf("diffeng: merge requires quiescence (%d active transactions)", len(e.att))
+	}
+	for p, v := range e.view {
+		if v.deleted {
+			if err := e.store.Delete(pagestore.PageID(p)); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := e.store.Write(pagestore.PageID(p), v.data, 0); err != nil {
+			return err
+		}
+	}
+	for seq := int64(0); seq < e.nextChunk; seq++ {
+		if err := e.store.Delete(chunkPage(seq)); err != nil {
+			return err
+		}
+	}
+	e.nextChunk = 0
+	e.view = make(map[int64]version)
+	e.merges++
+	return nil
+}
+
+// ReadCommitted resolves the committed value of page p.
+func (e *Engine) ReadCommitted(p int64) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.resolveCommitted(p)
+}
+
+// DiffSize reports the number of live differential entries (the paper's
+// |A|+|D| relative to |B| drives Table 11).
+func (e *Engine) DiffSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.view)
+}
+
+// Stats reports counters.
+func (e *Engine) Stats() map[string]int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return map[string]int64{
+		"adds":    e.adds,
+		"dels":    e.dels,
+		"commits": e.commits,
+		"aborts":  e.aborts,
+		"merges":  e.merges,
+	}
+}

@@ -1,0 +1,333 @@
+package diffeng
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pagestore"
+)
+
+func newEngine() (*Engine, *pagestore.Store) {
+	store := pagestore.New(4096)
+	return New(store), store
+}
+
+func TestViewResolution(t *testing.T) {
+	e, _ := newEngine()
+	if err := e.Load(1, []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	// Base visible before any differential.
+	got, err := e.ReadCommitted(1)
+	if err != nil || string(got) != "base" {
+		t.Fatalf("base read: %q %v", got, err)
+	}
+	if err := e.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Write(1, 1, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Own pending write visible; committed view unchanged.
+	own, _ := e.Read(1, 1)
+	if string(own) != "v1" {
+		t.Fatalf("own read: %q", own)
+	}
+	com, _ := e.ReadCommitted(1)
+	if string(com) != "base" {
+		t.Fatalf("committed view leaked: %q", com)
+	}
+	if err := e.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	com, _ = e.ReadCommitted(1)
+	if string(com) != "v1" {
+		t.Fatalf("after commit: %q", com)
+	}
+	// The base file itself is untouched.
+	raw, _, err := e.storeRead(1)
+	if err != nil || string(raw) != "base" {
+		t.Fatalf("base file modified: %q %v", raw, err)
+	}
+}
+
+// storeRead peeks at the base file directly.
+func (e *Engine) storeRead(p int64) ([]byte, uint64, error) {
+	return e.store.Read(pagestore.PageID(p))
+}
+
+func TestDeleteThroughDFile(t *testing.T) {
+	e, _ := newEngine()
+	if err := e.Load(1, []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if own, _ := e.Read(1, 1); own != nil {
+		t.Fatalf("own read after delete: %q", own)
+	}
+	if err := e.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := e.ReadCommitted(1)
+	if got != nil {
+		t.Fatalf("deleted page still visible: %q", got)
+	}
+}
+
+func TestAbortLeavesNoTrace(t *testing.T) {
+	e, store := newEngine()
+	if err := e.Load(1, []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	_, wBefore := store.Stats()
+	if err := e.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Write(1, 1, []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Abort(1); err != nil {
+		t.Fatal(err)
+	}
+	_, wAfter := store.Stats()
+	if wAfter != wBefore {
+		t.Fatal("aborted transaction touched stable storage")
+	}
+	got, _ := e.ReadCommitted(1)
+	if string(got) != "base" {
+		t.Fatalf("abort leaked: %q", got)
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	e, _ := newEngine()
+	if err := e.Load(1, []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Write(1, 1, []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Begin(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Write(2, 1, []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	e.Crash()
+	if err := e.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := e.ReadCommitted(1)
+	if string(got) != "committed" {
+		t.Fatalf("after recovery: %q", got)
+	}
+}
+
+func TestInDoubtCommitAtomic(t *testing.T) {
+	for budget := int64(0); budget < 4; budget++ {
+		e, store := newEngine()
+		for p := int64(0); p < 3; p++ {
+			if err := e.Load(p, []byte("base")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Begin(1); err != nil {
+			t.Fatal(err)
+		}
+		for p := int64(0); p < 3; p++ {
+			if err := e.Write(1, p, []byte("new")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		store.SetWriteBudget(budget)
+		commitErr := e.Commit(1)
+		e.Crash()
+		if err := e.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		news := 0
+		for p := int64(0); p < 3; p++ {
+			got, err := e.ReadCommitted(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch string(got) {
+			case "new":
+				news++
+			case "base":
+			default:
+				t.Fatalf("budget %d: page %d = %q", budget, p, got)
+			}
+		}
+		if news != 0 && news != 3 {
+			t.Fatalf("budget %d: torn commit", budget)
+		}
+		if commitErr == nil && news != 3 {
+			t.Fatalf("budget %d: acked commit lost", budget)
+		}
+	}
+}
+
+func TestMergeCompacts(t *testing.T) {
+	e, store := newEngine()
+	for p := int64(0); p < 4; p++ {
+		if err := e.Load(p, []byte("base")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Write(1, 0, []byte("updated")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	if e.DiffSize() == 0 {
+		t.Fatal("no differentials before merge")
+	}
+	if err := e.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if e.DiffSize() != 0 {
+		t.Fatal("differentials remain after merge")
+	}
+	// The view survives merge + crash + recovery (now from the base).
+	e.Crash()
+	if err := e.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := e.ReadCommitted(0); string(got) != "updated" {
+		t.Fatalf("merged update lost: %q", got)
+	}
+	if got, _ := e.ReadCommitted(1); got != nil {
+		t.Fatalf("merged delete lost: %q", got)
+	}
+	if got, _ := e.ReadCommitted(2); string(got) != "base" {
+		t.Fatalf("untouched base page: %q", got)
+	}
+	_ = store
+}
+
+func TestMergeRequiresQuiescence(t *testing.T) {
+	e, _ := newEngine()
+	if err := e.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Merge(); err == nil {
+		t.Fatal("merge allowed with active transaction")
+	}
+}
+
+func TestEntryMarshalProperty(t *testing.T) {
+	f := func(txn uint64, pg int64, data []byte, del bool) bool {
+		in := entry{typ: entryAdd, txn: txn, page: pg, data: data}
+		if del {
+			in = entry{typ: entryDel, txn: txn, page: pg}
+		}
+		out, n, err := unmarshalEntry(in.marshal(nil))
+		if err != nil || n != in.size() {
+			return false
+		}
+		if out.typ != in.typ || out.txn != in.txn || out.page != in.page {
+			return false
+		}
+		return string(out.data) == string(in.data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewEquivalenceProperty(t *testing.T) {
+	// Property: after any committed/aborted history (with occasional crash
+	// and merge), the engine's view equals a model map.
+	f := func(script []uint16) bool {
+		e, _ := newEngine()
+		const pages = 5
+		model := map[int64]string{}
+		for p := int64(0); p < pages; p++ {
+			v := fmt.Sprintf("base%d", p)
+			if err := e.Load(p, []byte(v)); err != nil {
+				return false
+			}
+			model[p] = v
+		}
+		tid := uint64(0)
+		for i, op := range script {
+			tid++
+			if e.Begin(tid) != nil {
+				return false
+			}
+			p := int64(op) % pages
+			v := fmt.Sprintf("t%d-%d", tid, i)
+			del := op%7 == 0
+			if del {
+				if e.Delete(tid, p) != nil {
+					return false
+				}
+			} else if e.Write(tid, p, []byte(v)) != nil {
+				return false
+			}
+			switch op % 5 {
+			case 0: // abort
+				if e.Abort(tid) != nil {
+					return false
+				}
+			default:
+				if e.Commit(tid) != nil {
+					return false
+				}
+				if del {
+					delete(model, p)
+				} else {
+					model[p] = v
+				}
+			}
+			if op%11 == 0 {
+				e.Crash()
+				if e.Recover() != nil {
+					return false
+				}
+			}
+			if op%13 == 0 {
+				if e.Merge() != nil {
+					return false
+				}
+			}
+		}
+		for p := int64(0); p < pages; p++ {
+			got, err := e.ReadCommitted(p)
+			if err != nil {
+				return false
+			}
+			want, exists := model[p]
+			if exists != (got != nil) {
+				return false
+			}
+			if exists && string(got) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

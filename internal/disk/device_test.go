@@ -1,0 +1,277 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func testGeom() Geometry {
+	return Geometry{PagesPerTrack: 4, TracksPerCyl: 12, Cylinders: 100}
+}
+
+func testParams() Params {
+	return Params{
+		MinSeek:      sim.Ms(10),
+		SeekPerCyl:   sim.Ms(0.1),
+		Rotation:     sim.Ms(16),
+		PageTransfer: sim.Ms(3),
+	}
+}
+
+func TestGeometryMapping(t *testing.T) {
+	g := testGeom()
+	if g.PagesPerCyl() != 48 {
+		t.Fatalf("pages/cyl = %d", g.PagesPerCyl())
+	}
+	if g.Capacity() != 4800 {
+		t.Fatalf("capacity = %d", g.Capacity())
+	}
+	if g.CylinderOf(0) != 0 || g.CylinderOf(47) != 0 || g.CylinderOf(48) != 1 {
+		t.Fatal("cylinder mapping wrong")
+	}
+	if g.TrackOf(0) != 0 || g.TrackOf(3) != 0 || g.TrackOf(4) != 1 || g.TrackOf(47) != 11 {
+		t.Fatal("track mapping wrong")
+	}
+}
+
+func TestGeometryCylinderOfPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range page did not panic")
+		}
+	}()
+	testGeom().CylinderOf(4800)
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := testGeom().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Geometry{PagesPerTrack: 0, TracksPerCyl: 1, Cylinders: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("degenerate geometry validated")
+	}
+}
+
+func TestSeekTime(t *testing.T) {
+	p := testParams()
+	if p.SeekTime(0) != 0 {
+		t.Fatal("zero-distance seek not free")
+	}
+	if p.SeekTime(10) != sim.Ms(11) {
+		t.Fatalf("seek(10) = %v", p.SeekTime(10))
+	}
+	if p.SeekTime(-10) != p.SeekTime(10) {
+		t.Fatal("seek not symmetric")
+	}
+}
+
+func TestConventionalSinglePageAccess(t *testing.T) {
+	e := sim.New()
+	d := NewConventional(e, "d0", testGeom(), testParams())
+	var doneAt sim.Time
+	// Head starts at cylinder 0; page 480 is cylinder 10.
+	d.Submit(&Request{Pages: []int{480}, Done: func() { doneAt = e.Now() }})
+	e.Run()
+	// seek 10+10*0.1=11ms, latency 8ms, transfer 3ms = 22ms.
+	want := sim.Ms(22)
+	if doneAt != want {
+		t.Fatalf("access took %v, want %v", doneAt, want)
+	}
+	if d.Accesses() != 1 || d.PagesMoved() != 1 {
+		t.Fatalf("accesses=%d pages=%d", d.Accesses(), d.PagesMoved())
+	}
+}
+
+func TestConventionalSameCylinderSkipsSeek(t *testing.T) {
+	e := sim.New()
+	d := NewConventional(e, "d0", testGeom(), testParams())
+	var first, second, third sim.Time
+	d.Submit(&Request{Pages: []int{0}, Done: func() { first = e.Now() }})
+	d.Submit(&Request{Pages: []int{1}, Done: func() { second = e.Now() }})
+	d.Submit(&Request{Pages: []int{3}, Done: func() { third = e.Now() }})
+	e.Run()
+	// First: 0 seek + 8 latency + 3 transfer = 11ms.
+	// Second: immediately-sequential page -> rotational miss: 12 + 3 = 15ms.
+	// Third: same cylinder, non-sequential -> 8 + 3 = 11ms.
+	if first != sim.Ms(11) || second != sim.Ms(26) || third != sim.Ms(37) {
+		t.Fatalf("first=%v second=%v third=%v", first, second, third)
+	}
+}
+
+func TestConventionalMultiPageOneLatency(t *testing.T) {
+	e := sim.New()
+	d := NewConventional(e, "d0", testGeom(), testParams())
+	d.Submit(&Request{Pages: []int{0, 1, 2, 3}})
+	e.Run()
+	// 0 seek + 8 latency + 4*3 transfer = 20ms.
+	if e.Now() != sim.Ms(20) {
+		t.Fatalf("4-page access took %v", e.Now())
+	}
+	// Spanning a cylinder boundary adds one MinSeek.
+	e2 := sim.New()
+	d2 := NewConventional(e2, "d0", testGeom(), testParams())
+	d2.Submit(&Request{Pages: []int{47, 48}})
+	e2.Run()
+	// seek to cyl 0: 0; latency 8 + 3 + minseek 10 + 3 = 24ms.
+	if e2.Now() != sim.Ms(24) {
+		t.Fatalf("cross-cylinder access took %v", e2.Now())
+	}
+}
+
+func TestConventionalFCFS(t *testing.T) {
+	e := sim.New()
+	d := NewConventional(e, "d0", testGeom(), testParams())
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		d.Submit(&Request{Pages: []int{i * 48}, Done: func() { order = append(order, i) }})
+	}
+	e.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestConventionalUtilization(t *testing.T) {
+	e := sim.New()
+	d := NewConventional(e, "d0", testGeom(), testParams())
+	d.Submit(&Request{Pages: []int{0}})
+	e.Run() // busy 11ms
+	e.RunUntil(sim.Ms(22))
+	u := d.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestParallelMergesSameCylinder(t *testing.T) {
+	e := sim.New()
+	d := NewParallel(e, "p0", testGeom(), testParams())
+	done := 0
+	var last sim.Time
+	// 8 pages spread across 8 tracks of cylinder 2, as separate requests.
+	// A long request to another cylinder keeps the disk busy first so all 8
+	// are queued when it dispatches them.
+	d.Submit(&Request{Pages: []int{480}})
+	for i := 0; i < 8; i++ {
+		p := 2*48 + i*4 // track i, sector 0 of cylinder 2
+		d.Submit(&Request{Pages: []int{p}, Done: func() { done++; last = e.Now() }})
+	}
+	e.Run()
+	if done != 8 {
+		t.Fatalf("done = %d", done)
+	}
+	// 2 accesses total: one to cyl 10, one merged access to cyl 2.
+	if d.Accesses() != 2 {
+		t.Fatalf("accesses = %d, want 2 (merged)", d.Accesses())
+	}
+	if d.PagesMoved() != 9 {
+		t.Fatalf("pages moved = %d", d.PagesMoved())
+	}
+	// Merged access: all 8 pages on distinct tracks -> transfer = 1 page time.
+	// First access: seek 11 + 8 + 3 = 22. Second: seek(8 cyl)=10.8 + 8 + 3 = 21.8.
+	want := sim.Ms(22) + sim.Ms(21.8)
+	if last != want {
+		t.Fatalf("merged access finished at %v, want %v", last, want)
+	}
+}
+
+func TestParallelDoesNotMergeReadsWithWrites(t *testing.T) {
+	e := sim.New()
+	d := NewParallel(e, "p0", testGeom(), testParams())
+	d.Submit(&Request{Pages: []int{480}}) // busy
+	d.Submit(&Request{Pages: []int{0}, Write: false})
+	d.Submit(&Request{Pages: []int{1}, Write: true})
+	e.Run()
+	if d.Accesses() != 3 {
+		t.Fatalf("accesses = %d, want 3 (no read/write merge)", d.Accesses())
+	}
+}
+
+func TestParallelTransferCappedAtRevolution(t *testing.T) {
+	e := sim.New()
+	g := testGeom()
+	p := testParams()
+	d := NewParallel(e, "p0", g, p)
+	// Entire cylinder 0 in one request: 48 pages over 12 tracks = 4 per track.
+	pages := make([]int, 48)
+	for i := range pages {
+		pages[i] = i
+	}
+	d.Submit(&Request{Pages: pages})
+	e.Run()
+	// 0 seek + 8 latency + min(4*3, 16+...) = 8 + 12 = 20ms.
+	if e.Now() != sim.Ms(20) {
+		t.Fatalf("cylinder read took %v", e.Now())
+	}
+}
+
+func TestParallelRejectsSpanningRequest(t *testing.T) {
+	e := sim.New()
+	d := NewParallel(e, "p0", testGeom(), testParams())
+	defer func() {
+		if recover() == nil {
+			t.Error("spanning request did not panic")
+		}
+	}()
+	d.Submit(&Request{Pages: []int{47, 48}})
+}
+
+func TestDeviceRejectsEmptyAndOutOfRange(t *testing.T) {
+	e := sim.New()
+	d := NewConventional(e, "d0", testGeom(), testParams())
+	for _, pages := range [][]int{{}, {-1}, {4800}} {
+		pages := pages
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("request %v did not panic", pages)
+				}
+			}()
+			d.Submit(&Request{Pages: pages})
+		}()
+	}
+}
+
+func TestParallelBeatsConventionalOnSequentialProperty(t *testing.T) {
+	// Property: for any batch of sequential pages within a cylinder,
+	// serving them queued on a parallel disk is never slower than on a
+	// conventional disk.
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%47) + 1
+		run := func(dev Device) sim.Time {
+			e := devEngine(dev)
+			for i := 0; i < n; i++ {
+				dev.Submit(&Request{Pages: []int{i}})
+			}
+			e.Run()
+			return e.Now()
+		}
+		e1 := sim.New()
+		conv := NewConventional(e1, "c", testGeom(), testParams())
+		engines[conv] = e1
+		e2 := sim.New()
+		par := NewParallel(e2, "p", testGeom(), testParams())
+		engines[par] = e2
+		tc := run(conv)
+		tp := run(par)
+		delete(engines, conv)
+		delete(engines, par)
+		return tp <= tc
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// engines lets the property test run devices generically.
+var engines = map[Device]*sim.Engine{}
+
+func devEngine(d Device) *sim.Engine { return engines[d] }
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 50}
+}

@@ -1,0 +1,196 @@
+// Package engine is the transactional facade over the functional recovery
+// engines: it adds page-level two-phase locking (via lockmgr) and a uniform
+// Begin/Read/Write/Commit/Abort API on top of any RecoveryManager — the WAL
+// engine, either shadow engine, or the differential-file engine — so the
+// same application code runs against every recovery architecture the paper
+// compares.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lockmgr"
+)
+
+// RecoveryManager is a functional recovery engine: it stores pages durably,
+// isolates nothing (that is this package's job), and guarantees atomicity
+// and durability across Crash/Recover.
+type RecoveryManager interface {
+	Name() string
+	Load(p int64, data []byte) error
+	Begin(tid uint64) error
+	Read(tid uint64, p int64) ([]byte, error)
+	Write(tid uint64, p int64, data []byte) error
+	Commit(tid uint64) error
+	Abort(tid uint64) error
+	Crash()
+	Recover() error
+	ReadCommitted(p int64) ([]byte, error)
+}
+
+// ErrDeadlock is returned when a transaction was chosen as a deadlock
+// victim; it has been aborted and may simply be retried.
+var ErrDeadlock = errors.New("engine: transaction aborted as deadlock victim")
+
+// ErrDone is returned when using a transaction after commit or abort.
+var ErrDone = errors.New("engine: transaction already finished")
+
+// Engine runs transactions with page-level 2PL over a RecoveryManager.
+type Engine struct {
+	rm      RecoveryManager
+	locks   *lockmgr.Manager
+	nextTID atomic.Uint64
+
+	mu        sync.Mutex
+	commits   int64
+	aborts    int64
+	deadlocks int64
+}
+
+// New builds an engine over rm.
+func New(rm RecoveryManager) *Engine {
+	return &Engine{rm: rm, locks: lockmgr.New()}
+}
+
+// Name reports the underlying recovery architecture.
+func (e *Engine) Name() string { return e.rm.Name() }
+
+// Load populates page p before transactions run.
+func (e *Engine) Load(p int64, data []byte) error { return e.rm.Load(p, data) }
+
+// Txn is one transaction. A Txn is owned by a single goroutine.
+type Txn struct {
+	e    *Engine
+	id   uint64
+	done bool
+}
+
+// Begin starts a transaction.
+func (e *Engine) Begin() (*Txn, error) {
+	id := e.nextTID.Add(1)
+	if err := e.rm.Begin(id); err != nil {
+		return nil, err
+	}
+	return &Txn{e: e, id: id}, nil
+}
+
+// ID reports the transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Read returns page p under a shared lock. On deadlock the transaction is
+// aborted and ErrDeadlock returned.
+func (t *Txn) Read(p int64) ([]byte, error) {
+	if t.done {
+		return nil, ErrDone
+	}
+	if err := t.lock(p, lockmgr.Shared); err != nil {
+		return nil, err
+	}
+	return t.e.rm.Read(t.id, p)
+}
+
+// Write replaces page p under an exclusive lock. On deadlock the
+// transaction is aborted and ErrDeadlock returned.
+func (t *Txn) Write(p int64, data []byte) error {
+	if t.done {
+		return ErrDone
+	}
+	if err := t.lock(p, lockmgr.Exclusive); err != nil {
+		return err
+	}
+	return t.e.rm.Write(t.id, p, data)
+}
+
+func (t *Txn) lock(p int64, mode lockmgr.Mode) error {
+	err := t.e.locks.Lock(lockmgr.TxnID(t.id), lockmgr.PageID(p), mode)
+	if errors.Is(err, lockmgr.ErrDeadlock) {
+		t.e.bump(&t.e.deadlocks)
+		if aerr := t.Abort(); aerr != nil {
+			return fmt.Errorf("%w (abort failed: %v)", ErrDeadlock, aerr)
+		}
+		return ErrDeadlock
+	}
+	return err
+}
+
+// Commit makes the transaction durable and releases its locks.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrDone
+	}
+	t.done = true
+	err := t.e.rm.Commit(t.id)
+	t.e.locks.ReleaseAll(lockmgr.TxnID(t.id))
+	if err == nil {
+		t.e.bump(&t.e.commits)
+	}
+	return err
+}
+
+// Abort rolls the transaction back and releases its locks.
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrDone
+	}
+	t.done = true
+	err := t.e.rm.Abort(t.id)
+	t.e.locks.ReleaseAll(lockmgr.TxnID(t.id))
+	t.e.bump(&t.e.aborts)
+	return err
+}
+
+func (e *Engine) bump(c *int64) {
+	e.mu.Lock()
+	*c++
+	e.mu.Unlock()
+}
+
+// Update runs fn inside a transaction, committing on nil return and
+// aborting on error; deadlock victims are retried automatically.
+func (e *Engine) Update(fn func(*Txn) error) error {
+	for {
+		t, err := e.Begin()
+		if err != nil {
+			return err
+		}
+		err = fn(t)
+		if errors.Is(err, ErrDeadlock) {
+			continue // fn's transaction was already aborted; retry
+		}
+		if err != nil {
+			if !t.done {
+				_ = t.Abort()
+			}
+			return err
+		}
+		err = t.Commit()
+		if errors.Is(err, ErrDeadlock) {
+			continue
+		}
+		return err
+	}
+}
+
+// Crash simulates power loss. Any concurrently running transactions will
+// see errors; locks are forgotten like the rest of volatile state.
+func (e *Engine) Crash() {
+	e.rm.Crash()
+	e.locks = lockmgr.New()
+}
+
+// Recover runs restart recovery on the underlying engine.
+func (e *Engine) Recover() error { return e.rm.Recover() }
+
+// ReadCommitted reads the committed state of page p (use when quiescent,
+// e.g. after Recover).
+func (e *Engine) ReadCommitted(p int64) ([]byte, error) { return e.rm.ReadCommitted(p) }
+
+// Stats reports commit/abort/deadlock counts.
+func (e *Engine) Stats() (commits, aborts, deadlocks int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.commits, e.aborts, e.deadlocks
+}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"repro/internal/diffeng"
+	"repro/internal/pagestore"
+	"repro/internal/shadoweng"
+	"repro/internal/wal"
+)
+
+// walAdapter bridges wal.Manager's pagestore.PageID signatures to the int64
+// RecoveryManager interface.
+type walAdapter struct{ m *wal.Manager }
+
+func (a walAdapter) Name() string                 { return a.m.Name() }
+func (a walAdapter) Load(p int64, d []byte) error { return a.m.Load(pagestore.PageID(p), d) }
+func (a walAdapter) Begin(tid uint64) error       { return a.m.Begin(tid) }
+func (a walAdapter) Commit(tid uint64) error      { return a.m.Commit(tid) }
+func (a walAdapter) Abort(tid uint64) error       { return a.m.Abort(tid) }
+func (a walAdapter) Crash()                       { a.m.Crash() }
+func (a walAdapter) Recover() error               { return a.m.Recover() }
+func (a walAdapter) Read(tid uint64, p int64) ([]byte, error) {
+	return a.m.Read(tid, pagestore.PageID(p))
+}
+func (a walAdapter) Write(tid uint64, p int64, d []byte) error {
+	return a.m.Write(tid, pagestore.PageID(p), d)
+}
+func (a walAdapter) ReadCommitted(p int64) ([]byte, error) {
+	return a.m.ReadCommitted(pagestore.PageID(p))
+}
+
+// NewWAL builds an engine over a write-ahead-logging recovery manager with
+// the given number of parallel log streams.
+func NewWAL(cfg wal.Config) *Engine {
+	store := pagestore.New(4096)
+	return New(walAdapter{wal.NewManager(store, cfg)})
+}
+
+// NewWALOn is NewWAL over a caller-supplied store (for fault injection).
+func NewWALOn(store *pagestore.Store, cfg wal.Config) (*Engine, *wal.Manager) {
+	m := wal.NewManager(store, cfg)
+	return New(walAdapter{m}), m
+}
+
+// NewShadow builds an engine over the canonical shadow-paging manager.
+func NewShadow() (*Engine, error) {
+	store := pagestore.New(4096)
+	return NewShadowOn(store)
+}
+
+// NewShadowOn is NewShadow over a caller-supplied store.
+func NewShadowOn(store *pagestore.Store) (*Engine, error) {
+	se, err := shadoweng.New(store)
+	if err != nil {
+		return nil, err
+	}
+	return New(se), nil
+}
+
+// NewOverwrite builds an engine over an overwriting shadow manager.
+func NewOverwrite(variant shadoweng.Variant) *Engine {
+	return NewOverwriteOn(pagestore.New(4096), variant)
+}
+
+// NewOverwriteOn is NewOverwrite over a caller-supplied store.
+func NewOverwriteOn(store *pagestore.Store, variant shadoweng.Variant) *Engine {
+	return New(shadoweng.NewOverwrite(store, variant))
+}
+
+// NewVersionSelect builds an engine over the version-selection shadow
+// manager.
+func NewVersionSelect() (*Engine, error) {
+	return NewVersionSelectOn(pagestore.New(4096))
+}
+
+// NewVersionSelectOn is NewVersionSelect over a caller-supplied store.
+func NewVersionSelectOn(store *pagestore.Store) (*Engine, error) {
+	ve, err := shadoweng.NewVersion(store)
+	if err != nil {
+		return nil, err
+	}
+	return New(ve), nil
+}
+
+// NewDiff builds an engine over the differential-file manager.
+func NewDiff() *Engine {
+	return NewDiffOn(pagestore.New(4096))
+}
+
+// NewDiffOn is NewDiff over a caller-supplied store.
+func NewDiffOn(store *pagestore.Store) *Engine {
+	return New(diffeng.New(store))
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestMPLSweepShape(t *testing.T) {
+	tab, err := MPLSweep(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 || len(tab.Rows[0]) != 6 {
+		t.Fatalf("shape %dx%d", len(tab.Rows), len(tab.Rows[0]))
+	}
+	// Throughput improves (exec/page falls) from MPL=1 to MPL=3 for the
+	// I/O-bound random configurations.
+	if cell(tab, 0, 3) > cell(tab, 0, 1) {
+		t.Errorf("MPL=3 (%.1f) slower than MPL=1 (%.1f)", cell(tab, 0, 3), cell(tab, 0, 1))
+	}
+}
+
+func TestFrameSweepShape(t *testing.T) {
+	tab, err := FrameSweep(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parallel-sequential benefits most from more frames (bigger batches).
+	if cell(tab, 3, 3) > cell(tab, 3, 1) {
+		t.Errorf("parallel-sequential got slower with more frames: %.2f vs %.2f",
+			cell(tab, 3, 3), cell(tab, 3, 1))
+	}
+}
+
+func TestFragmentSweepShape(t *testing.T) {
+	tab, err := FragmentSweep(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		small, big := cell(tab, i, 1), cell(tab, i, 4)
+		if big < small {
+			t.Errorf("row %d: log util fell with bigger fragments: %.2f -> %.2f", i, small, big)
+		}
+	}
+}
+
+func TestSkewSweepShape(t *testing.T) {
+	tab, err := SkewSweep(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	waits := func(row int) int64 {
+		v, err := strconv.ParseInt(tab.Rows[row][3], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// Heavy skew must produce more lock conflicts than uniform access.
+	if waits(2) <= waits(0) {
+		t.Errorf("skew 2.0 waits (%d) not above uniform (%d)", waits(2), waits(0))
+	}
+}
+
+func TestFuncRecoveryShape(t *testing.T) {
+	tab, err := FuncRecovery(Options{NumTxns: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The WAL engines must report real redo/undo work; shadow restarts do
+	// none by construction.
+	redo := func(row int) int64 {
+		v, _ := strconv.ParseInt(tab.Rows[row][3], 10, 64)
+		return v
+	}
+	if redo(0) == 0 {
+		t.Error("wal(1 stream) reported no redo work")
+	}
+	if redo(2) != 0 {
+		t.Error("shadow reported redo work")
+	}
+}
+
+func TestRegistryIncludesExtensions(t *testing.T) {
+	ids := IDs()
+	want := map[string]bool{"mpl": true, "frames": true, "fragsize": true,
+		"skew": true, "funcrecovery": true}
+	found := 0
+	for _, id := range ids {
+		if want[id] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Fatalf("extensions missing from registry: %v", ids)
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/recovery/difffile"
+	"repro/internal/recovery/logging"
+	"repro/internal/recovery/shadow"
+)
+
+func init() {
+	registry["abortcost"] = AbortCost
+}
+
+// AbortCost measures the cost the paper describes but never quantifies: the
+// use of recovery data when transactions fail. A fraction of transactions
+// aborts partway through and each architecture performs its undo actions —
+// logging reads its log back and rewrites pages in place; no-redo
+// overwriting restores shadows from the scratch area; shadow paging,
+// no-undo overwriting and differential files abort almost for free.
+func AbortCost(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "abortcost",
+		Title:   "Extension: execution time per page vs abort rate (conventional-random)",
+		Columns: []string{"Architecture", "0% aborts", "20% aborts", "50% aborts"},
+		Notes: "collection-optimized architectures pay on failure: in-place logging " +
+			"and no-redo overwriting do extra I/O per abort, deferred-update " +
+			"architectures discard and move on",
+	}
+	models := []struct {
+		name string
+		mk   func() machine.Model
+	}{
+		{"logging (in-place)", func() machine.Model { return logging.New(logging.Config{}) }},
+		{"shadow thru-PT", func() machine.Model { return shadow.NewPageTable(shadow.Config{}) }},
+		{"overwrite no-undo", func() machine.Model { return shadow.NewOverwrite(shadow.Config{}, true) }},
+		{"overwrite no-redo", func() machine.Model { return shadow.NewOverwrite(shadow.Config{}, false) }},
+		{"differential files", func() machine.Model { return difffile.New(difffile.Config{}) }},
+	}
+	for _, m := range models {
+		row := []string{m.name}
+		for _, frac := range []float64{0, 0.2, 0.5} {
+			cfg := machine.DefaultConfig()
+			cfg.AbortFrac = frac
+			cfg = opt.apply(cfg)
+			res, err := machine.Run(cfg, m.mk())
+			if err != nil {
+				return nil, fmt.Errorf("%s at %.0f%%: %w", m.name, frac*100, err)
+			}
+			row = append(row, ms(res.ExecPerPageMs))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/recovery/difffile"
+	"repro/internal/recovery/logging"
+	"repro/internal/recovery/shadow"
+)
+
+func TestCheckpointSweepShape(t *testing.T) {
+	tab, err := CheckpointSweep(quickOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Parallel checkpoints barely move throughput even at the shortest
+	// interval (the paper's [13] claim).
+	base, parShort := cell(tab, 0, 1), cell(tab, 3, 1)
+	if parShort > base*1.05 {
+		t.Errorf("parallel checkpoints degraded throughput: %.1f vs %.1f", parShort, base)
+	}
+	// Quiescing checkpoints cost more the more often they run.
+	if cell(tab, 3, 2) <= cell(tab, 0, 2) {
+		t.Errorf("quiescing checkpoints free? %.1f vs %.1f", cell(tab, 3, 2), cell(tab, 0, 2))
+	}
+}
+
+func TestSystemRecoveryShape(t *testing.T) {
+	tab, err := SystemRecovery(Options{NumTxns: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	restart := func(row int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[row][3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// Restart time falls with more parallel log disks; 4 disks must be at
+	// least twice as fast as 1.
+	if restart(4) >= restart(0) {
+		t.Errorf("5 log disks (%v) not faster than 1 (%v)", restart(4), restart(0))
+	}
+	if restart(3) > restart(0)/2 {
+		t.Errorf("4 log disks (%v) should halve the 1-disk restart (%v)", restart(3), restart(0))
+	}
+}
+
+// TestStallFreedomFuzz drives random valid machine configurations through
+// every recovery model; the simulator must always finish the load — the
+// machine's central liveness invariant (no lost wakeups, no WAL deadlocks,
+// no leaked frames).
+func TestStallFreedomFuzz(t *testing.T) {
+	mkModels := []func() machine.Model{
+		func() machine.Model { return nil },
+		func() machine.Model { return logging.New(logging.Config{}) },
+		func() machine.Model { return logging.New(logging.Config{Mode: logging.Physical, LogProcessors: 2}) },
+		func() machine.Model { return shadow.NewPageTable(shadow.Config{BufferPages: 3}) },
+		func() machine.Model { return shadow.NewOverwrite(shadow.Config{}, true) },
+		func() machine.Model { return shadow.NewOverwrite(shadow.Config{}, false) },
+		func() machine.Model { return difffile.New(difffile.Config{}) },
+	}
+	f := func(qps, frames, disks, mpl, maxPages, modelIdx uint8, par, seq bool, seed int64, abort uint8) bool {
+		cfg := machine.DefaultConfig()
+		cfg.QueryProcessors = int(qps%20) + 1
+		cfg.CacheFrames = int(frames%60) + 8
+		cfg.DataDisks = int(disks%3) + 1
+		cfg.MPL = int(mpl%4) + 1
+		cfg.NumTxns = 5
+		cfg.Workload.MaxPages = int(maxPages%100) + 1
+		cfg.Workload.Sequential = seq
+		cfg.ParallelDisks = par
+		cfg.Seed = seed
+		cfg.AbortFrac = float64(abort%3) * 0.25
+		res, err := machine.Run(cfg, mkModels[int(modelIdx)%len(mkModels)]())
+		if err != nil {
+			t.Logf("stalled: %v", err)
+			return false
+		}
+		return res.Committed+res.Aborted == cfg.NumTxns
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

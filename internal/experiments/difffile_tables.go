@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"repro/internal/machine"
+	"repro/internal/recovery/difffile"
+	"repro/internal/recovery/logging"
+	"repro/internal/recovery/shadow"
+)
+
+// Table9 reproduces "Impact of the Differential File Mechanism": basic vs
+// optimal query-processing strategy, both metrics, four configurations.
+func Table9(opt Options) (*Table, error) {
+	t := &Table{
+		ID:    "table9",
+		Title: "Impact of the Differential File Mechanism (10% files)",
+		Columns: []string{"Configuration",
+			"Bare e/p", "Basic e/p", "Optimal e/p",
+			"Bare compl", "Basic compl", "Optimal compl"},
+		Paper: [][]string{
+			{"Conventional-Random", "18.0", "37.8", "19.2", "7398.4", "11589.8", "6634.3"},
+			{"Parallel-Random", "16.6", "37.7", "18.0", "6476.0", "11565.1", "6207.6"},
+			{"Conventional-Sequential", "11.0", "37.6", "17.8", "4016.5", "11443.7", "5795.5"},
+			{"Parallel-Sequential", "1.9", "37.6", "13.9", "758.1", "11368.8", "4573.5"},
+		},
+	}
+	for _, c := range fourConfigs {
+		cfg := c.config(opt)
+		bare, err := machine.Run(cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		basic, err := machine.Run(cfg, difffile.New(difffile.Config{Strategy: difffile.Basic}))
+		if err != nil {
+			return nil, err
+		}
+		optimal, err := machine.Run(cfg, difffile.New(difffile.Config{Strategy: difffile.Optimal}))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{c.Name,
+			ms(bare.ExecPerPageMs), ms(basic.ExecPerPageMs), ms(optimal.ExecPerPageMs),
+			ms(bare.MeanCompletionMs), ms(basic.MeanCompletionMs), ms(optimal.MeanCompletionMs)})
+	}
+	t.Notes = "the basic strategy is CPU bound and flat across configurations"
+	return t, nil
+}
+
+// Table10 reproduces "Effect of Output Fraction on Execution Time per Page".
+func Table10(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "table10",
+		Title:   "Effect of Output Fraction (optimal strategy)",
+		Columns: []string{"Configuration", "Bare", "10%", "20%", "50%"},
+		Paper: [][]string{
+			{"Conventional-Random", "18.0", "19.2", "19.2", "20.3"},
+			{"Parallel-Random", "16.6", "18.0", "18.0", "18.9"},
+			{"Conventional-Sequential", "11.0", "17.8", "17.9", "17.8"},
+			{"Parallel-Sequential", "1.9", "13.9", "13.9", "13.6"},
+		},
+	}
+	for _, c := range fourConfigs {
+		cfg := c.config(opt)
+		bare, err := machine.Run(cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{c.Name, ms(bare.ExecPerPageMs)}
+		for _, frac := range []float64{0.10, 0.20, 0.50} {
+			res, err := machine.Run(cfg, difffile.New(difffile.Config{OutputFrac: frac}))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(res.ExecPerPageMs))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = "output pages grow sublinearly with the fraction due to per-transaction fragmentation"
+	return t, nil
+}
+
+// Table11 reproduces "Effect of Size of Differential Files on Execution Time
+// per Page".
+func Table11(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "table11",
+		Title:   "Effect of Differential File Size (optimal strategy)",
+		Columns: []string{"Configuration", "Bare", "10%", "15%", "20%"},
+		Paper: [][]string{
+			{"Conventional-Random", "18.0", "19.2", "24.8", "37.0"},
+			{"Parallel-Random", "16.6", "18.0", "24.4", "37.0"},
+			{"Conventional-Sequential", "11.0", "17.8", "25.8", "39.6"},
+			{"Parallel-Sequential", "1.9", "13.9", "23.5", "36.4"},
+		},
+	}
+	for _, c := range fourConfigs {
+		cfg := c.config(opt)
+		bare, err := machine.Run(cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{c.Name, ms(bare.ExecPerPageMs)}
+		for _, frac := range []float64{0.10, 0.15, 0.20} {
+			res, err := machine.Run(cfg, difffile.New(difffile.Config{DiffFrac: frac}))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(res.ExecPerPageMs))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = "degradation grows nonlinearly with differential file size"
+	return t, nil
+}
+
+// Table12 reproduces the grand comparison of all recovery architectures.
+func Table12(opt Options) (*Table, error) {
+	t := &Table{
+		ID:    "table12",
+		Title: "Average Execution Time per Page — all architectures",
+		Columns: []string{"Configuration", "Bare", "Logging",
+			"PT buf=10", "PT buf=50", "2 PTProc", "Scrambled", "Overwriting", "DiffFile"},
+		Paper: [][]string{
+			{"Conventional-Random", "18.0", "17.9", "20.5", "18.0", "18.0", "20.5", "26.9", "19.2"},
+			{"Parallel-Random", "16.6", "16.5", "20.5", "16.7", "16.7", "20.5", "21.6", "18.0"},
+			{"Conventional-Sequential", "11.0", "11.4", "11.0", "11.0", "11.0", "20.7", "24.1", "17.8"},
+			{"Parallel-Sequential", "1.9", "2.0", "1.9", "1.9", "1.9", "18.5", "2.3", "13.9"},
+		},
+	}
+	for _, c := range fourConfigs {
+		cfg := c.config(opt)
+		models := []machine.Model{
+			nil,
+			logging.New(logging.Config{}),
+			shadow.NewPageTable(shadow.Config{BufferPages: 10}),
+			shadow.NewPageTable(shadow.Config{BufferPages: 50}),
+			shadow.NewPageTable(shadow.Config{PageTableProcessors: 2}),
+			shadow.NewPageTable(shadow.Config{Scrambled: true}),
+			shadow.NewOverwrite(shadow.Config{}, true),
+			difffile.New(difffile.Config{}),
+		}
+		row := []string{c.Name}
+		for _, mdl := range models {
+			res, err := machine.Run(cfg, mdl)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(res.ExecPerPageMs))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = "parallel logging is the best overall recovery architecture"
+	return t, nil
+}

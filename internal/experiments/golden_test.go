@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+// TestTable12Golden pins the exact Table 12 values at the quick scale
+// (12 transactions, default seed). The simulator is fully deterministic, so
+// any diff here means the calibration or the event ordering changed — run
+// `go run ./cmd/dbmsim -table 12 -txns 12`, compare shapes against the
+// paper, and update deliberately.
+func TestTable12Golden(t *testing.T) {
+	tab, err := Table12(Options{NumTxns: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := [][]string{
+		{"Conventional-Random", "18.8", "18.6", "19.8", "19.5", "19.4", "19.5", "28.8", "20.2"},
+		{"Parallel-Random", "16.9", "17.1", "18.4", "17.7", "17.6", "18.5", "18.7", "18.6"},
+		{"Conventional-Sequential", "10.4", "10.3", "10.6", "10.6", "10.5", "18.0", "17.6", "14.4"},
+		{"Parallel-Sequential", "2.0", "2.1", "2.1", "2.1", "2.1", "16.2", "2.9", "13.7"},
+	}
+	if len(tab.Rows) != len(golden) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i, want := range golden {
+		for j, cell := range want {
+			if tab.Rows[i][j] != cell {
+				t.Errorf("row %d col %d: got %q, golden %q (calibration drift?)",
+					i, j, tab.Rows[i][j], cell)
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/recovery/logging"
+)
+
+// Table1 reproduces "Impact of Logging": execution time per page and
+// transaction completion time, with and without logical logging (one log
+// processor), for the four standard configurations.
+func Table1(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "table1",
+		Title:   "Impact of Logging (1 log processor, logical logging)",
+		Columns: []string{"Configuration", "Exec/Page w/o Log", "Exec/Page w/ Log", "Completion w/o Log", "Completion w/ Log"},
+		Paper: [][]string{
+			{"Conventional-Random", "18.0", "17.9", "7398.4", "7543.2"},
+			{"Parallel-Random", "16.6", "16.5", "6476.0", "6649.9"},
+			{"Conventional-Sequential", "11.0", "11.4", "4016.5", "4333.5"},
+			{"Parallel-Sequential", "1.9", "2.0", "758.1", "862.2"},
+		},
+	}
+	for _, c := range fourConfigs {
+		cfg := c.config(opt)
+		bare, err := machine.Run(cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		logged, err := machine.Run(cfg, logging.New(logging.Config{}))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			c.Name,
+			ms(bare.ExecPerPageMs), ms(logged.ExecPerPageMs),
+			ms(bare.MeanCompletionMs), ms(logged.MeanCompletionMs),
+		})
+	}
+	t.Notes = "log-page assembly overlaps data processing; only completion times move"
+	return t, nil
+}
+
+// Table2 reproduces "Log Characteristics": the utilization of a single log
+// disk under logical logging.
+func Table2(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "table2",
+		Title:   "Log Disk Utilization (one log processor)",
+		Columns: []string{"Configuration", "Log Disk Utilization"},
+		Paper: [][]string{
+			{"Conventional-Random", "0.02"},
+			{"Parallel-Random", "0.02"},
+			{"Conventional-Sequential", "0.02"},
+			{"Parallel-Sequential", "0.13"},
+		},
+	}
+	for _, c := range fourConfigs {
+		res, err := machine.Run(c.config(opt), logging.New(logging.Config{}))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{c.Name, ratio(res.Extra["log.diskUtil"])})
+	}
+	t.Notes = "the query processors cannot update pages fast enough to keep even one log disk busy"
+	return t, nil
+}
+
+// table3Config is the scaled-up machine of Table 3: 75 query processors,
+// 2 parallel-access data disks, 150 cache frames, sequential transactions,
+// physical logging.
+func table3Config(opt Options) machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.QueryProcessors = 75
+	cfg.CacheFrames = 150
+	cfg.ParallelDisks = true
+	cfg.Workload.Sequential = true
+	return opt.apply(cfg)
+}
+
+// Table3 reproduces "Performance of Parallel Logging and Log Processor
+// Selection Algorithms": physical logging with 1-5 log disks under the four
+// selection algorithms, plus the no-logging baseline.
+func Table3(opt Options) (*Table, error) {
+	t := &Table{
+		ID:    "table3",
+		Title: "Parallel Physical Logging (75 QPs, 2 parallel-access disks, 150 frames)",
+		Columns: []string{"Log Disks",
+			"cyclic e/p", "random e/p", "qpno e/p", "tranno e/p",
+			"cyclic compl", "random compl", "qpno compl", "tranno compl"},
+		Paper: [][]string{
+			{"1", "5.1", "5.1", "5.1", "5.1", "4518.1", "4518.1", "4518.1", "4518.1"},
+			{"2", "2.5", "2.6", "2.6", "2.7", "1999.5", "2104.3", "2232.0", "2165.4"},
+			{"3", "1.7", "1.8", "1.8", "2.1", "1078.9", "1137.2", "1135.7", "1381.8"},
+			{"4", "1.5", "1.5", "1.5", "2.0", "830.7", "854.6", "837.8", "1137.5"},
+			{"5", "1.3", "1.4", "1.3", "2.0", "716.3", "741.7", "714.1", "1128.4"},
+			{"w/o logging", "0.9", "0.9", "0.9", "0.9", "430.6", "430.6", "430.6", "430.6"},
+		},
+	}
+	selections := []logging.Selection{logging.Cyclic, logging.Random, logging.QpNoMod, logging.TranNoMod}
+	for n := 1; n <= 5; n++ {
+		row := []string{fmt.Sprintf("%d", n)}
+		var compl []string
+		for _, sel := range selections {
+			res, err := machine.Run(table3Config(opt), logging.New(logging.Config{
+				Mode:          logging.Physical,
+				LogProcessors: n,
+				Selection:     sel,
+			}))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(res.ExecPerPageMs))
+			compl = append(compl, ms(res.MeanCompletionMs))
+		}
+		t.Rows = append(t.Rows, append(row, compl...))
+	}
+	bare, err := machine.Run(table3Config(opt), nil)
+	if err != nil {
+		return nil, err
+	}
+	e, c := ms(bare.ExecPerPageMs), ms(bare.MeanCompletionMs)
+	t.Rows = append(t.Rows, []string{"w/o logging", e, e, e, e, c, c, c, c})
+	t.Notes = "one log disk is the bottleneck; tranno-mod loses with few concurrent transactions"
+	return t, nil
+}
+
+// Bandwidth reproduces the Section 4.1.3 study: the effect of the query
+// processor / log processor interconnect (1.0, 0.1, 0.01 MB/s dedicated
+// networks, and routing the fragments through the disk cache).
+func Bandwidth(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "bandwidth",
+		Title:   "QP/LP Interconnect Study (logical logging, 1 log processor)",
+		Columns: []string{"Configuration", "1.0 MB/s", "0.1 MB/s", "0.01 MB/s", "via cache"},
+		Notes:   "paper reports performance is quite insensitive to the medium (no table published)",
+	}
+	for _, c := range fourConfigs {
+		row := []string{c.Name}
+		for _, bw := range []float64{1.0, 0.1, 0.01} {
+			res, err := machine.Run(c.config(opt), logging.New(logging.Config{NetBandwidthMBs: bw}))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(res.ExecPerPageMs))
+		}
+		res, err := machine.Run(c.config(opt), logging.New(logging.Config{Routing: logging.ViaCache}))
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, ms(res.ExecPerPageMs))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,308 @@
+// Package lockmgr is a page-level two-phase-locking lock manager for the
+// functional recovery engines: shared/exclusive modes, lock upgrades, FIFO
+// queuing, and waits-for-graph deadlock detection. It plays the role the
+// back-end controller's scheduler plays in the paper's database machine.
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// TxnID identifies a transaction; 0 is reserved.
+type TxnID uint64
+
+// PageID identifies a lockable page.
+type PageID int64
+
+// Mode is a lock mode.
+type Mode int
+
+const (
+	// Shared permits concurrent readers.
+	Shared Mode = iota
+	// Exclusive permits one writer.
+	Exclusive
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// ErrDeadlock is returned to the transaction chosen as the deadlock victim;
+// the caller must abort it.
+var ErrDeadlock = errors.New("lockmgr: deadlock detected; abort this transaction")
+
+type waiter struct {
+	txn   TxnID
+	mode  Mode
+	ready chan struct{}
+}
+
+type lockState struct {
+	sHolders map[TxnID]bool
+	xHolder  TxnID
+	queue    []*waiter
+}
+
+// Manager is the lock manager. Create with New; safe for concurrent use.
+type Manager struct {
+	mu    sync.Mutex
+	locks map[PageID]*lockState
+	held  map[TxnID]map[PageID]Mode
+	// waitsOn[t] is the set of transactions t currently waits for.
+	waitsOn map[TxnID]map[TxnID]bool
+
+	waits     int64
+	deadlocks int64
+}
+
+// New returns an empty lock manager.
+func New() *Manager {
+	return &Manager{
+		locks:   make(map[PageID]*lockState),
+		held:    make(map[TxnID]map[PageID]Mode),
+		waitsOn: make(map[TxnID]map[TxnID]bool),
+	}
+}
+
+// Lock acquires page p in mode for txn, blocking until granted. It returns
+// ErrDeadlock if waiting would close a cycle; the caller must then abort the
+// transaction (release its locks) to unblock the others.
+func (m *Manager) Lock(txn TxnID, p PageID, mode Mode) error {
+	if txn == 0 {
+		return fmt.Errorf("lockmgr: TxnID 0 is reserved")
+	}
+	m.mu.Lock()
+	ls := m.lockState(p)
+
+	// Re-entrant and upgrade cases.
+	if cur, ok := m.held[txn][p]; ok {
+		if cur == Exclusive || mode == Shared {
+			m.mu.Unlock()
+			return nil
+		}
+		// Upgrade S -> X: compatible once txn is the only holder.
+		if ls.xHolder == 0 && len(ls.sHolders) == 1 && ls.sHolders[txn] {
+			ls.xHolder = txn
+			delete(ls.sHolders, txn)
+			m.held[txn][p] = Exclusive
+			m.mu.Unlock()
+			return nil
+		}
+	}
+
+	if m.compatible(ls, txn, mode) && len(ls.queue) == 0 {
+		m.grant(ls, txn, p, mode)
+		m.mu.Unlock()
+		return nil
+	}
+
+	// Must wait: record waits-for edges and check for a cycle.
+	w := &waiter{txn: txn, mode: mode, ready: make(chan struct{})}
+	blockers := m.blockers(ls, txn)
+	if m.wouldDeadlock(txn, blockers) {
+		m.deadlocks++
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	edges := m.waitsOn[txn]
+	if edges == nil {
+		edges = make(map[TxnID]bool)
+		m.waitsOn[txn] = edges
+	}
+	for b := range blockers {
+		edges[b] = true
+	}
+	ls.queue = append(ls.queue, w)
+	m.waits++
+	m.mu.Unlock()
+
+	<-w.ready
+	return nil
+}
+
+// blockers returns every transaction that currently prevents txn from being
+// granted on ls: the incompatible holders plus all queued waiters ahead.
+func (m *Manager) blockers(ls *lockState, txn TxnID) map[TxnID]bool {
+	out := make(map[TxnID]bool)
+	if ls.xHolder != 0 && ls.xHolder != txn {
+		out[ls.xHolder] = true
+	}
+	for t := range ls.sHolders {
+		if t != txn {
+			out[t] = true
+		}
+	}
+	for _, w := range ls.queue {
+		if w.txn != txn {
+			out[w.txn] = true
+		}
+	}
+	return out
+}
+
+// wouldDeadlock reports whether adding edges txn->blockers closes a cycle in
+// the waits-for graph.
+func (m *Manager) wouldDeadlock(txn TxnID, blockers map[TxnID]bool) bool {
+	// DFS from each blocker looking for txn.
+	seen := map[TxnID]bool{}
+	var dfs func(t TxnID) bool
+	dfs = func(t TxnID) bool {
+		if t == txn {
+			return true
+		}
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		for next := range m.waitsOn[t] {
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for b := range blockers {
+		if dfs(b) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Manager) lockState(p PageID) *lockState {
+	ls := m.locks[p]
+	if ls == nil {
+		ls = &lockState{sHolders: make(map[TxnID]bool)}
+		m.locks[p] = ls
+	}
+	return ls
+}
+
+func (m *Manager) compatible(ls *lockState, txn TxnID, mode Mode) bool {
+	if ls.xHolder != 0 && ls.xHolder != txn {
+		return false
+	}
+	if mode == Exclusive {
+		if ls.xHolder != 0 && ls.xHolder != txn {
+			return false
+		}
+		for t := range ls.sHolders {
+			if t != txn {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (m *Manager) grant(ls *lockState, txn TxnID, p PageID, mode Mode) {
+	if mode == Exclusive {
+		ls.xHolder = txn
+		delete(ls.sHolders, txn)
+	} else if ls.xHolder != txn {
+		ls.sHolders[txn] = true
+	}
+	hm := m.held[txn]
+	if hm == nil {
+		hm = make(map[PageID]Mode)
+		m.held[txn] = hm
+	}
+	// Record the strongest mode held.
+	if cur, ok := hm[p]; !ok || (cur == Shared && mode == Exclusive) {
+		hm[p] = mode
+	}
+}
+
+// ReleaseAll releases every lock txn holds and removes it from all queues,
+// then grants any newly-eligible waiters. Transactions call it at commit or
+// abort.
+func (m *Manager) ReleaseAll(txn TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.waitsOn, txn)
+	for p := range m.held[txn] {
+		ls := m.locks[p]
+		if ls == nil {
+			continue
+		}
+		if ls.xHolder == txn {
+			ls.xHolder = 0
+		}
+		delete(ls.sHolders, txn)
+		m.wake(ls, p)
+		m.cleanup(p, ls)
+	}
+	delete(m.held, txn)
+	// txn may also sit in queues of pages it does not hold (it should not,
+	// because Lock blocks, but a deadlock victim might have raced). Scrub.
+	for p, ls := range m.locks {
+		changed := false
+		rest := ls.queue[:0]
+		for _, w := range ls.queue {
+			if w.txn == txn {
+				changed = true
+				close(w.ready)
+				continue
+			}
+			rest = append(rest, w)
+		}
+		ls.queue = rest
+		if changed {
+			m.wake(ls, p)
+			m.cleanup(p, ls)
+		}
+	}
+	// Remove txn from everyone's waits-for sets.
+	for _, edges := range m.waitsOn {
+		delete(edges, txn)
+	}
+}
+
+// wake grants queued waiters FIFO while compatible.
+func (m *Manager) wake(ls *lockState, p PageID) {
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		if !m.compatible(ls, w.txn, w.mode) {
+			return
+		}
+		ls.queue = ls.queue[1:]
+		m.grant(ls, w.txn, p, w.mode)
+		// The waiter no longer waits on anyone for this page.
+		delete(m.waitsOn, w.txn)
+		close(w.ready)
+		if w.mode == Exclusive {
+			return
+		}
+	}
+}
+
+func (m *Manager) cleanup(p PageID, ls *lockState) {
+	if ls.xHolder == 0 && len(ls.sHolders) == 0 && len(ls.queue) == 0 {
+		delete(m.locks, p)
+	}
+}
+
+// Holds reports whether txn currently holds p in at least mode.
+func (m *Manager) Holds(txn TxnID, p PageID, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur, ok := m.held[txn][p]
+	if !ok {
+		return false
+	}
+	return mode == Shared || cur == Exclusive
+}
+
+// Stats reports the number of waits and deadlocks observed.
+func (m *Manager) Stats() (waits, deadlocks int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.waits, m.deadlocks
+}

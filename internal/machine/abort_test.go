@@ -1,0 +1,57 @@
+package machine
+
+import "testing"
+
+func TestAbortFracFinishesLoad(t *testing.T) {
+	cfg := smallConfig()
+	cfg.AbortFrac = 0.5
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed+res.Aborted != cfg.NumTxns {
+		t.Fatalf("finished %d+%d of %d", res.Committed, res.Aborted, cfg.NumTxns)
+	}
+	if res.Aborted == 0 {
+		t.Fatal("no transactions aborted at 50% abort rate")
+	}
+	if res.Committed == 0 {
+		t.Fatal("every transaction aborted at 50% abort rate")
+	}
+}
+
+func TestAbortFracZeroMeansNoAborts(t *testing.T) {
+	res, err := Run(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted != 0 {
+		t.Fatalf("aborted = %d with AbortFrac 0", res.Aborted)
+	}
+}
+
+func TestAbortFracValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.AbortFrac = 1.5
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("abort fraction > 1 accepted")
+	}
+	cfg.AbortFrac = -0.1
+	if _, err := Run(cfg, nil); err == nil {
+		t.Fatal("negative abort fraction accepted")
+	}
+}
+
+func TestAbortedTxnsExcludedFromCompletion(t *testing.T) {
+	// Completion times are defined over committing transactions; an
+	// all-but-abort load must still report a sane (committed-only) mean.
+	cfg := smallConfig()
+	cfg.AbortFrac = 0.3
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanCompletionMs <= 0 {
+		t.Fatalf("completion = %v", res.MeanCompletionMs)
+	}
+}

@@ -1,0 +1,57 @@
+package machine
+
+import "testing"
+
+// TestCalibrationBareMachine prints the bare-machine numbers for the four
+// paper configurations next to the paper's Table 1 values. Shapes (ordering,
+// rough ratios) are asserted; absolute values are logged for calibration.
+func TestCalibrationBareMachine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run")
+	}
+	type cfgCase struct {
+		name       string
+		sequential bool
+		parallel   bool
+		paperExec  float64
+		paperComp  float64
+	}
+	cases := []cfgCase{
+		{"Conventional-Random", false, false, 18.0, 7398.4},
+		{"Parallel-Random", false, true, 16.6, 6476.0},
+		{"Conventional-Sequential", true, false, 11.0, 4016.5},
+		{"Parallel-Sequential", true, true, 1.9, 758.1},
+	}
+	got := map[string]*Result{}
+	for _, c := range cases {
+		cfg := DefaultConfig()
+		cfg.Workload.Sequential = c.sequential
+		cfg.ParallelDisks = c.parallel
+		res, err := Run(cfg, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		got[c.name] = res
+		t.Logf("%-24s exec/page %6.1f (paper %5.1f)  completion %8.1f (paper %7.1f)  qp=%.2f disk=%.2f accesses=%d",
+			c.name, res.ExecPerPageMs, c.paperExec, res.MeanCompletionMs, c.paperComp,
+			res.QPUtil, res.DataDiskUtil, res.DataDiskAccesses)
+	}
+	// Shape assertions from the paper's Table 1.
+	if !(got["Parallel-Sequential"].ExecPerPageMs < got["Conventional-Sequential"].ExecPerPageMs &&
+		got["Conventional-Sequential"].ExecPerPageMs < got["Parallel-Random"].ExecPerPageMs &&
+		got["Parallel-Random"].ExecPerPageMs <= got["Conventional-Random"].ExecPerPageMs*1.02) {
+		t.Errorf("configuration ordering broken")
+	}
+	// Parallel-sequential is dramatically (>3x) faster than conventional-sequential.
+	if got["Conventional-Sequential"].ExecPerPageMs/got["Parallel-Sequential"].ExecPerPageMs < 3 {
+		t.Errorf("parallel-access advantage on sequential too small: %.1f vs %.1f",
+			got["Conventional-Sequential"].ExecPerPageMs, got["Parallel-Sequential"].ExecPerPageMs)
+	}
+	// Random configurations are I/O bound: high disk utilization, low QP.
+	if got["Conventional-Random"].DataDiskUtil < 0.85 {
+		t.Errorf("conventional-random disks not saturated: %.2f", got["Conventional-Random"].DataDiskUtil)
+	}
+	if got["Conventional-Random"].QPUtil > 0.3 {
+		t.Errorf("conventional-random QPs too busy: %.2f", got["Conventional-Random"].QPUtil)
+	}
+}

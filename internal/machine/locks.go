@@ -1,0 +1,144 @@
+package machine
+
+import (
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// lockMode is a page lock mode.
+type lockMode int
+
+const (
+	lockShared lockMode = iota
+	lockExclusive
+)
+
+// lockTable implements the back-end controller's page-level locking. The
+// machine uses static (pre-declared) locking: a transaction requests its
+// whole lock set in ascending page order before it starts reading. Ordered
+// acquisition makes deadlock impossible, matching the conservative
+// schedulers assumed for this machine class.
+type lockTable struct {
+	locks map[workload.PageID]*pageLock
+	waits int64 // lock waits observed (for statistics)
+}
+
+type pageLock struct {
+	sHolders map[*ActiveTxn]bool
+	xHolder  *ActiveTxn
+	queue    []lockWaiter
+}
+
+type lockWaiter struct {
+	t     *ActiveTxn
+	mode  lockMode
+	grant func()
+}
+
+func newLockTable() *lockTable {
+	return &lockTable{locks: make(map[workload.PageID]*pageLock)}
+}
+
+// AcquireAll requests locks for all pages of t's transaction (exclusive for
+// pages in its write set, shared otherwise) in ascending page order. granted
+// runs once every lock is held.
+func (lt *lockTable) AcquireAll(t *ActiveTxn, granted func()) {
+	pages := make([]workload.PageID, len(t.T.Reads))
+	copy(pages, t.T.Reads)
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+
+	var step func(i int)
+	step = func(i int) {
+		for ; i < len(pages); i++ {
+			p := pages[i]
+			mode := lockShared
+			if t.T.Writes[p] {
+				mode = lockExclusive
+			}
+			next := i + 1
+			if lt.acquire(t, p, mode, func() { step(next) }) {
+				continue
+			}
+			return // waiting; step resumes on grant
+		}
+		granted()
+	}
+	step(0)
+}
+
+// acquire tries to take page p in mode for t. It returns true if granted
+// immediately; otherwise it queues wake (to be run at grant) and returns
+// false.
+func (lt *lockTable) acquire(t *ActiveTxn, p workload.PageID, mode lockMode, wake func()) bool {
+	pl := lt.locks[p]
+	if pl == nil {
+		pl = &pageLock{sHolders: make(map[*ActiveTxn]bool)}
+		lt.locks[p] = pl
+	}
+	if lt.compatible(pl, mode) && len(pl.queue) == 0 {
+		lt.grant(pl, t, p, mode)
+		return true
+	}
+	lt.waits++
+	pl.queue = append(pl.queue, lockWaiter{t: t, mode: mode, grant: wake})
+	return false
+}
+
+func (lt *lockTable) compatible(pl *pageLock, mode lockMode) bool {
+	if pl.xHolder != nil {
+		return false
+	}
+	if mode == lockExclusive {
+		return len(pl.sHolders) == 0
+	}
+	return true
+}
+
+func (lt *lockTable) grant(pl *pageLock, t *ActiveTxn, p workload.PageID, mode lockMode) {
+	if mode == lockExclusive {
+		pl.xHolder = t
+	} else {
+		pl.sHolders[t] = true
+	}
+	t.lockedPages = append(t.lockedPages, p)
+}
+
+// ReleaseAll drops every lock t holds and grants eligible waiters FIFO.
+func (lt *lockTable) ReleaseAll(t *ActiveTxn) {
+	for _, p := range t.lockedPages {
+		pl := lt.locks[p]
+		if pl == nil {
+			continue
+		}
+		if pl.xHolder == t {
+			pl.xHolder = nil
+		}
+		delete(pl.sHolders, t)
+		lt.wakeWaiters(pl, p)
+		if pl.xHolder == nil && len(pl.sHolders) == 0 && len(pl.queue) == 0 {
+			delete(lt.locks, p)
+		}
+	}
+	t.lockedPages = nil
+}
+
+// wakeWaiters grants queued requests in FIFO order while they remain
+// compatible: either one exclusive waiter, or a run of shared waiters.
+func (lt *lockTable) wakeWaiters(pl *pageLock, p workload.PageID) {
+	for len(pl.queue) > 0 {
+		w := pl.queue[0]
+		if !lt.compatible(pl, w.mode) {
+			return
+		}
+		pl.queue = pl.queue[1:]
+		lt.grant(pl, w.t, p, w.mode)
+		w.grant()
+		if w.mode == lockExclusive {
+			return
+		}
+	}
+}
+
+// Waits reports the number of lock waits observed.
+func (lt *lockTable) Waits() int64 { return lt.waits }

@@ -1,0 +1,183 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func txnWith(id int, reads []workload.PageID, writes ...workload.PageID) *ActiveTxn {
+	w := map[workload.PageID]bool{}
+	for _, p := range writes {
+		w[p] = true
+	}
+	return &ActiveTxn{T: &workload.Txn{ID: id, Reads: reads, Writes: w}}
+}
+
+func TestLockTableSharedCompatible(t *testing.T) {
+	lt := newLockTable()
+	t1 := txnWith(1, []workload.PageID{5})
+	t2 := txnWith(2, []workload.PageID{5})
+	g1, g2 := false, false
+	lt.AcquireAll(t1, func() { g1 = true })
+	lt.AcquireAll(t2, func() { g2 = true })
+	if !g1 || !g2 {
+		t.Fatalf("shared readers blocked: %v %v", g1, g2)
+	}
+	if lt.Waits() != 0 {
+		t.Fatalf("waits = %d", lt.Waits())
+	}
+}
+
+func TestLockTableWriterExcludes(t *testing.T) {
+	lt := newLockTable()
+	t1 := txnWith(1, []workload.PageID{5}, 5)
+	t2 := txnWith(2, []workload.PageID{5}, 5)
+	g1, g2 := false, false
+	lt.AcquireAll(t1, func() { g1 = true })
+	lt.AcquireAll(t2, func() { g2 = true })
+	if !g1 {
+		t.Fatal("first writer blocked")
+	}
+	if g2 {
+		t.Fatal("second writer granted concurrently")
+	}
+	lt.ReleaseAll(t1)
+	if !g2 {
+		t.Fatal("waiter not granted at release")
+	}
+	if lt.Waits() != 1 {
+		t.Fatalf("waits = %d", lt.Waits())
+	}
+}
+
+func TestLockTableFIFOWithSharedBatch(t *testing.T) {
+	lt := newLockTable()
+	w := txnWith(1, []workload.PageID{9}, 9)
+	r1 := txnWith(2, []workload.PageID{9})
+	r2 := txnWith(3, []workload.PageID{9})
+	var grants []int
+	lt.AcquireAll(w, func() { grants = append(grants, 1) })
+	lt.AcquireAll(r1, func() { grants = append(grants, 2) })
+	lt.AcquireAll(r2, func() { grants = append(grants, 3) })
+	lt.ReleaseAll(w)
+	// Both shared waiters are granted together after the writer leaves.
+	if len(grants) != 3 || grants[1] != 2 || grants[2] != 3 {
+		t.Fatalf("grants = %v", grants)
+	}
+}
+
+func TestLockTableWriterWaitsBehindReaders(t *testing.T) {
+	lt := newLockTable()
+	r := txnWith(1, []workload.PageID{7})
+	w := txnWith(2, []workload.PageID{7}, 7)
+	rGranted, wGranted := false, false
+	lt.AcquireAll(r, func() { rGranted = true })
+	lt.AcquireAll(w, func() { wGranted = true })
+	if !rGranted || wGranted {
+		t.Fatalf("states: r=%v w=%v", rGranted, wGranted)
+	}
+	lt.ReleaseAll(r)
+	if !wGranted {
+		t.Fatal("writer not granted after reader release")
+	}
+}
+
+func TestLockTableMultiPageOrderedAcquisition(t *testing.T) {
+	lt := newLockTable()
+	// T1 takes 1..3; T2 wants 2..4 and must wait on 2.
+	t1 := txnWith(1, []workload.PageID{1, 2, 3}, 2)
+	t2 := txnWith(2, []workload.PageID{2, 3, 4}, 2)
+	g1, g2 := false, false
+	lt.AcquireAll(t1, func() { g1 = true })
+	lt.AcquireAll(t2, func() { g2 = true })
+	if !g1 || g2 {
+		t.Fatalf("states: %v %v", g1, g2)
+	}
+	lt.ReleaseAll(t1)
+	if !g2 {
+		t.Fatal("t2 never granted")
+	}
+	lt.ReleaseAll(t2)
+	if len(lt.locks) != 0 {
+		t.Fatalf("lock table leaked %d entries", len(lt.locks))
+	}
+}
+
+func TestLockTableNoDeadlockProperty(t *testing.T) {
+	// Ordered acquisition must always complete: any set of transactions
+	// over any page sets eventually all get granted when finished txns
+	// release in any order.
+	f := func(sets [][]uint8) bool {
+		lt := newLockTable()
+		var txns []*ActiveTxn
+		granted := map[int]bool{}
+		for i, set := range sets {
+			if len(set) == 0 {
+				continue
+			}
+			pages := make([]workload.PageID, 0, len(set))
+			seen := map[workload.PageID]bool{}
+			for _, s := range set {
+				p := workload.PageID(s % 16)
+				if !seen[p] {
+					pages = append(pages, p)
+					seen[p] = true
+				}
+			}
+			tx := txnWith(i, pages, pages[0])
+			txns = append(txns, tx)
+			i := i
+			lt.AcquireAll(tx, func() { granted[i] = true })
+		}
+		// Release granted transactions until everything drains.
+		for safety := 0; safety < len(txns)+1; safety++ {
+			progressed := false
+			for _, tx := range txns {
+				if granted[tx.T.ID] && tx.lockedPages != nil {
+					lt.ReleaseAll(tx)
+					progressed = true
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+		for _, tx := range txns {
+			if !granted[tx.T.ID] {
+				return false
+			}
+		}
+		return len(lt.locks) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaseModelDefaults(t *testing.T) {
+	m, err := New(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &Base{}
+	b.Attach(m)
+	if b.Name() != "bare" {
+		t.Fatalf("name = %q", b.Name())
+	}
+	called := 0
+	at := &ActiveTxn{T: &workload.Txn{Reads: []workload.PageID{1}, Writes: map[workload.PageID]bool{}}}
+	pr := &PlannedRead{}
+	b.BeforeRead(at, pr, func() { called++ })
+	b.UpdateReady(at, pr, func() { called++ })
+	b.BeforeCommit(at, func() { called++ })
+	b.AfterCommit(at, func() { called++ })
+	b.OnCachePressure(at)
+	if called != 4 {
+		t.Fatalf("base hooks did not pass through: %d", called)
+	}
+	if b.Stats() != nil {
+		t.Fatal("base stats should be nil")
+	}
+}

@@ -1,0 +1,480 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/disk"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ActiveTxn is a transaction in execution on the machine.
+type ActiveTxn struct {
+	T    *workload.Txn
+	Plan []PlannedRead
+
+	// Aborted marks a transaction that will stop after a prefix of its
+	// plan and run the model's undo actions instead of committing.
+	Aborted bool
+
+	next            int  // next plan entry to issue
+	framesHeld      int  // cache frames currently held
+	blockedPages    int  // updated pages held waiting for recovery data
+	processed       int  // plan entries processed by a query processor
+	writesRemaining int  // planned updated-page writes not yet durable
+	locksGranted    bool // static lock set fully granted
+	started         bool
+	start           sim.Time
+	lastWrite       sim.Time
+	readsDone       bool
+	commitHookDone  bool
+	afterCommit     bool
+
+	lockedPages []workload.PageID
+
+	// QP is the query-processor index that produced the most recent update;
+	// recovery models use it for log-processor selection.
+	QP int
+}
+
+// ID reports the transaction's workload identifier.
+func (t *ActiveTxn) ID() int { return t.T.ID }
+
+// Machine is one simulated database machine instance. Build it with New and
+// execute the configured load with Run.
+type Machine struct {
+	cfg    Config
+	eng    *sim.Engine
+	rng    *sim.RNG
+	model  Model
+	place  Placement
+	disks  []disk.Device
+	cache  *cache.Cache
+	qps    *sim.Resource
+	locks  *lockTable
+	window int
+
+	pending []*workload.Txn
+	active  []*ActiveTxn
+
+	pagesProcessed int64
+	completion     sim.Tally
+	committed      int
+	aborted        int
+	endTime        sim.Time
+	profile        *Profile
+
+	admissionsHeld bool
+	quiesceWaiters []func()
+}
+
+// New builds a machine for cfg with the given recovery model (nil selects
+// the bare machine).
+func New(cfg Config, model Model) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		model = &Base{}
+	}
+	extra := 0
+	if sr, ok := model.(SpaceRequirer); ok {
+		extra = sr.ExtraPhysPages(cfg)
+	}
+	pagesPerCyl := cfg.PagesPerTrack * cfg.TracksPerCyl
+	place := newPlacement(cfg.DataDisks, pagesPerCyl, cfg.Workload.DBPages, extra)
+
+	eng := sim.New()
+	m := &Machine{
+		cfg:    cfg,
+		eng:    eng,
+		rng:    sim.NewRNG(cfg.Seed),
+		model:  model,
+		place:  place,
+		cache:  cache.New(eng, cfg.CacheFrames),
+		qps:    sim.NewResource(eng, "query-processors", cfg.QueryProcessors),
+		locks:  newLockTable(),
+		window: cfg.prefetchWindow(),
+	}
+	geom := place.geometry(cfg.PagesPerTrack, cfg.TracksPerCyl)
+	for i := 0; i < cfg.DataDisks; i++ {
+		name := fmt.Sprintf("data%d", i)
+		if cfg.ParallelDisks {
+			m.disks = append(m.disks, disk.NewParallel(eng, name, geom, cfg.DiskParams))
+		} else {
+			m.disks = append(m.disks, disk.NewConventional(eng, name, geom, cfg.DiskParams))
+		}
+	}
+	txns, err := workload.Generate(cfg.NumTxns, cfg.Workload, m.rng.Fork())
+	if err != nil {
+		return nil, err
+	}
+	m.pending = txns
+	model.Attach(m)
+	return m, nil
+}
+
+// Run executes the whole load and returns the collected statistics.
+func Run(cfg Config, model Model) (*Result, error) {
+	m, err := New(cfg, model)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// Run executes the whole load and returns the collected statistics.
+func (m *Machine) Run() (*Result, error) {
+	if m.cfg.ProfileEvery > 0 {
+		m.startProfiler(m.cfg.ProfileEvery)
+	}
+	for i := 0; i < m.cfg.MPL && len(m.pending) > 0; i++ {
+		m.admitNext()
+	}
+	m.schedule()
+	m.eng.Run()
+	if m.committed+m.aborted != m.cfg.NumTxns {
+		return nil, m.stallError()
+	}
+	return m.result(), nil
+}
+
+func (m *Machine) stallError() error {
+	detail := ""
+	for _, t := range m.active {
+		detail += fmt.Sprintf(" txn%d{next=%d/%d processed=%d frames=%d writes=%d locks=%t readsDone=%t commitHook=%t}",
+			t.T.ID, t.next, len(t.Plan), t.processed, t.framesHeld,
+			t.writesRemaining, t.locksGranted, t.readsDone, t.commitHookDone)
+	}
+	return fmt.Errorf("machine: stalled with %d+%d/%d finished (model %s):%s",
+		m.committed, m.aborted, m.cfg.NumTxns, m.model.Name(), detail)
+}
+
+// --- accessors used by recovery models ---
+
+// Eng returns the simulation engine.
+func (m *Machine) Eng() *sim.Engine { return m.eng }
+
+// RNG returns the machine's random stream.
+func (m *Machine) RNG() *sim.RNG { return m.rng }
+
+// Cfg returns the machine configuration.
+func (m *Machine) Cfg() Config { return m.cfg }
+
+// CachePool returns the disk cache.
+func (m *Machine) CachePool() *cache.Cache { return m.cache }
+
+// Place returns the physical placement map.
+func (m *Machine) Place() Placement { return m.place }
+
+// QPs returns the query-processor pool.
+func (m *Machine) QPs() *sim.Resource { return m.qps }
+
+// DBPhys maps a logical database page to the physical page holding its
+// current version: the identity unless the model remaps the region.
+func (m *Machine) DBPhys(p workload.PageID) int {
+	if pm, ok := m.model.(PhysMapper); ok {
+		return pm.DBPhys(p)
+	}
+	return int(p)
+}
+
+// NewAuxDisk creates an auxiliary conventional disk (log disk, page-table
+// disk) with the given cylinder count, sharing the machine's disk timing
+// parameters. Auxiliary disks are owned by the model.
+func (m *Machine) NewAuxDisk(name string, cylinders int) disk.Device {
+	geom := disk.Geometry{
+		PagesPerTrack: m.cfg.PagesPerTrack,
+		TracksPerCyl:  m.cfg.TracksPerCyl,
+		Cylinders:     cylinders,
+	}
+	return disk.NewConventional(m.eng, name, geom, m.cfg.DiskParams)
+}
+
+// SubmitPhys issues a read or write of physical pages to the data disks.
+// The cache is page addressable, so conventional disks are driven one page
+// per access (the paper's "separate access for each page"); parallel-access
+// disks take one request per cylinder, which their hardware serves in a
+// single access. done runs once every piece completes.
+func (m *Machine) SubmitPhys(pages []int, write bool, done func()) {
+	if len(pages) == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	type key struct{ disk, cyl int }
+	groups := make(map[key][]int)
+	order := make([]key, 0, 2)
+	ppc := m.place.PagesPerCyl()
+	for i, p := range pages {
+		d, local := m.place.Locate(p)
+		k := key{disk: d}
+		if m.cfg.ParallelDisks {
+			k.cyl = local / ppc
+		} else {
+			k.cyl = i // unique key: one access per page on conventional disks
+		}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], local)
+	}
+	remaining := len(order)
+	for _, k := range order {
+		k := k
+		m.disks[k.disk].Submit(&disk.Request{
+			Pages: groups[k],
+			Write: write,
+			Done: func() {
+				remaining--
+				if remaining == 0 && done != nil {
+					done()
+				}
+			},
+		})
+	}
+}
+
+// NoteTxnWrite records that a model-issued write belonging to t finished
+// now; it advances the transaction's last-write time used for the
+// completion-time metric.
+func (m *Machine) NoteTxnWrite(t *ActiveTxn) { t.lastWrite = m.eng.Now() }
+
+// NoteProcessedWrite counts n additional written pages in the machine's
+// pages-processed metric (used by models whose updated pages are written
+// outside the standard plan, such as differential-file output pages).
+func (m *Machine) NoteProcessedWrite(n int) { m.pagesProcessed += int64(n) }
+
+// --- transaction pipeline ---
+
+func (m *Machine) admitNext() {
+	if len(m.pending) == 0 || m.admissionsHeld {
+		return
+	}
+	tx := m.pending[0]
+	m.pending = m.pending[1:]
+	t := &ActiveTxn{T: tx}
+	t.Plan = m.model.Plan(t)
+	if m.cfg.AbortFrac > 0 && m.rng.Bool(m.cfg.AbortFrac) && len(t.Plan) > 1 {
+		// The transaction will abort after a random prefix of its plan.
+		t.Aborted = true
+		t.Plan = t.Plan[:m.rng.UniformInt(1, len(t.Plan))]
+	}
+	for i := range t.Plan {
+		if t.Plan[i].Update {
+			t.writesRemaining++
+		}
+	}
+	m.active = append(m.active, t)
+	m.locks.AcquireAll(t, func() {
+		t.locksGranted = true
+		m.schedule()
+	})
+}
+
+// schedule issues as many reads as frames, windows and locks allow. It is
+// idempotent and called after every state change.
+func (m *Machine) schedule() {
+	for progress := true; progress; {
+		progress = false
+		for _, t := range m.active {
+			if !t.locksGranted || t.next >= len(t.Plan) {
+				continue
+			}
+			if t.framesHeld >= m.window {
+				// The transaction's window is exhausted. Only if every held
+				// frame is an updated page waiting for its recovery data is
+				// it truly stuck — then the back-end controller asks the
+				// model to expedite (the paper's forced log-page flush).
+				if t.blockedPages > 0 && t.blockedPages >= t.framesHeld {
+					m.model.OnCachePressure(t)
+				}
+				continue
+			}
+			if !m.cache.TryAlloc() {
+				if m.cache.Blocked() > 0 {
+					m.model.OnCachePressure(t)
+				}
+				return
+			}
+			m.issueNext(t)
+			progress = true
+		}
+	}
+}
+
+func (m *Machine) issueNext(t *ActiveTxn) {
+	if !t.started {
+		t.started = true
+		t.start = m.eng.Now()
+	}
+	pr := &t.Plan[t.next]
+	t.next++
+	t.framesHeld++
+	m.model.BeforeRead(t, pr, func() {
+		m.SubmitPhys(pr.PhysPages, false, func() { m.onReadDone(t, pr) })
+	})
+}
+
+func (m *Machine) onReadDone(t *ActiveTxn, pr *PlannedRead) {
+	m.qps.RequestServer(pr.CPU, func(server int) { m.onProcessed(t, pr, server) })
+}
+
+func (m *Machine) onProcessed(t *ActiveTxn, pr *PlannedRead, server int) {
+	m.pagesProcessed++
+	t.processed++
+	if pr.Update {
+		t.QP = server
+		m.cache.AdjustBlocked(1)
+		t.blockedPages++
+		released := false
+		m.model.UpdateReady(t, pr, func() {
+			if released {
+				panic("machine: UpdateReady release called twice")
+			}
+			released = true
+			m.cache.AdjustBlocked(-1)
+			t.blockedPages--
+			m.issueWrite(t, pr)
+		})
+	} else {
+		m.releaseFrame(t)
+	}
+	if t.processed == len(t.Plan) && !t.readsDone {
+		t.readsDone = true
+		hook := m.model.BeforeCommit
+		if t.Aborted {
+			hook = m.model.OnAbort
+		}
+		hook(t, func() {
+			t.commitHookDone = true
+			m.maybeAfterCommit(t)
+		})
+	}
+	m.schedule()
+}
+
+func (m *Machine) issueWrite(t *ActiveTxn, pr *PlannedRead) {
+	m.SubmitPhys([]int{pr.WriteTo}, true, func() {
+		m.pagesProcessed++
+		t.lastWrite = m.eng.Now()
+		t.writesRemaining--
+		m.releaseFrame(t)
+		m.maybeAfterCommit(t)
+	})
+}
+
+func (m *Machine) releaseFrame(t *ActiveTxn) {
+	t.framesHeld--
+	if t.framesHeld < 0 {
+		panic("machine: negative frames held")
+	}
+	m.cache.Release()
+	m.schedule()
+}
+
+func (m *Machine) maybeAfterCommit(t *ActiveTxn) {
+	if !t.readsDone || !t.commitHookDone || t.writesRemaining > 0 || t.afterCommit {
+		return
+	}
+	t.afterCommit = true
+	if t.Aborted {
+		// Undo already ran in OnAbort; nothing to publish.
+		m.complete(t)
+		return
+	}
+	m.model.AfterCommit(t, func() { m.complete(t) })
+}
+
+func (m *Machine) complete(t *ActiveTxn) {
+	m.locks.ReleaseAll(t)
+	if t.Aborted {
+		m.aborted++
+	} else {
+		m.completion.Add((m.eng.Now() - t.start).ToMs())
+		m.committed++
+	}
+	for i, a := range m.active {
+		if a == t {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	m.endTime = m.eng.Now()
+	if len(m.active) == 0 && len(m.quiesceWaiters) > 0 {
+		waiters := m.quiesceWaiters
+		m.quiesceWaiters = nil
+		for _, w := range waiters {
+			w()
+		}
+	}
+	m.admitNext()
+	m.schedule()
+}
+
+// Finished reports whether the whole load has committed or aborted; models
+// use it to stop self-rescheduling activities (checkpoint timers).
+func (m *Machine) Finished() bool { return m.committed+m.aborted >= m.cfg.NumTxns }
+
+// HoldAdmissions stops new transactions from being admitted; running
+// transactions continue. Models use it for quiescing checkpoints.
+func (m *Machine) HoldAdmissions() { m.admissionsHeld = true }
+
+// ReleaseAdmissions resumes admissions, refilling to the multiprogramming
+// level.
+func (m *Machine) ReleaseAdmissions() {
+	if !m.admissionsHeld {
+		return
+	}
+	m.admissionsHeld = false
+	for len(m.active) < m.cfg.MPL && len(m.pending) > 0 {
+		m.admitNext()
+	}
+	m.schedule()
+}
+
+// OnQuiescent runs fn the next time no transaction is active (immediately
+// if that is already the case). Combine with HoldAdmissions to drain the
+// machine for a quiescing checkpoint.
+func (m *Machine) OnQuiescent(fn func()) {
+	if len(m.active) == 0 {
+		fn()
+		return
+	}
+	m.quiesceWaiters = append(m.quiesceWaiters, fn)
+}
+
+func (m *Machine) result() *Result {
+	r := &Result{
+		Name:           m.model.Name(),
+		SimTime:        m.endTime,
+		PagesProcessed: m.pagesProcessed,
+		Committed:      m.committed,
+		Aborted:        m.aborted,
+		LockWaits:      m.locks.Waits(),
+		QPUtil:         m.qps.Utilization(),
+		MeanBlocked:    m.cache.MeanBlocked(),
+		MaxBlocked:     m.cache.MaxBlocked(),
+		MeanCacheUsed:  m.cache.MeanUsed(),
+		Extra:          map[string]float64{},
+	}
+	if m.pagesProcessed > 0 {
+		r.ExecPerPageMs = m.endTime.ToMs() / float64(m.pagesProcessed)
+	}
+	r.MeanCompletionMs = m.completion.Mean()
+	var sum float64
+	for _, d := range m.disks {
+		u := d.Utilization()
+		r.DataDiskUtils = append(r.DataDiskUtils, u)
+		sum += u
+		r.DataDiskAccesses += d.Accesses()
+	}
+	r.DataDiskUtil = sum / float64(len(m.disks))
+	for k, v := range m.model.Stats() {
+		r.Extra[k] = v
+	}
+	r.Profile = m.profile
+	return r
+}

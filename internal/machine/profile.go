@@ -1,0 +1,127 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Profile is a sampled utilization timeline of one simulation run: at each
+// sample instant it records the fraction of busy data disks and query
+// processors, cache occupancy, and the number of updated pages blocked
+// waiting for recovery data.
+type Profile struct {
+	SampleEvery sim.Time
+	TimesMs     []float64
+	DiskBusy    []float64 // busy data disks / data disks
+	QPBusy      []float64 // busy query processors / query processors
+	CacheUsed   []float64 // used frames / frames
+	Blocked     []float64 // blocked updated pages (absolute)
+}
+
+// sampler drives periodic profile collection; it stops rescheduling once
+// the machine has committed its whole load so the event queue can drain.
+func (m *Machine) startProfiler(every sim.Time) {
+	m.profile = &Profile{SampleEvery: every}
+	var tick func()
+	tick = func() {
+		m.sampleProfile()
+		if m.committed < m.cfg.NumTxns {
+			m.eng.After(every, tick)
+		}
+	}
+	m.eng.After(every, tick)
+}
+
+func (m *Machine) sampleProfile() {
+	p := m.profile
+	busy := 0
+	for _, d := range m.disks {
+		if d.InFlight() {
+			busy++
+		}
+	}
+	p.TimesMs = append(p.TimesMs, m.eng.Now().ToMs())
+	p.DiskBusy = append(p.DiskBusy, float64(busy)/float64(len(m.disks)))
+	p.QPBusy = append(p.QPBusy, float64(m.qps.Busy())/float64(m.qps.Capacity()))
+	p.CacheUsed = append(p.CacheUsed, float64(m.cache.Used())/float64(m.cache.Frames()))
+	p.Blocked = append(p.Blocked, float64(m.cache.Blocked()))
+}
+
+// sparkRunes render a 0..1 series as an eight-level bar sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+func spark(series []float64, scale float64) string {
+	var b strings.Builder
+	for _, v := range series {
+		x := v / scale
+		if x < 0 {
+			x = 0
+		}
+		if x > 1 {
+			x = 1
+		}
+		idx := int(x * float64(len(sparkRunes)-1))
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// condense averages a series down to at most n points.
+func condense(series []float64, n int) []float64 {
+	if len(series) <= n {
+		return series
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(series) / n
+		hi := (i + 1) * len(series) / n
+		if hi == lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range series[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// Render formats the profile as labelled sparklines, width columns wide.
+func (p *Profile) Render(width int) string {
+	if len(p.TimesMs) == 0 {
+		return "(no samples)\n"
+	}
+	if width <= 0 {
+		width = 72
+	}
+	maxBlocked := 1.0
+	for _, v := range p.Blocked {
+		if v > maxBlocked {
+			maxBlocked = v
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "utilization over %.0f ms (%d samples, %s apart):\n",
+		p.TimesMs[len(p.TimesMs)-1], len(p.TimesMs), p.SampleEvery)
+	fmt.Fprintf(&b, "  data disks  %s\n", spark(condense(p.DiskBusy, width), 1))
+	fmt.Fprintf(&b, "  query procs %s\n", spark(condense(p.QPBusy, width), 1))
+	fmt.Fprintf(&b, "  cache used  %s\n", spark(condense(p.CacheUsed, width), 1))
+	fmt.Fprintf(&b, "  blocked pgs %s (peak %.0f)\n",
+		spark(condense(p.Blocked, width), maxBlocked), maxBlocked)
+	return b.String()
+}
+
+// Mean reports the average of a sampled series.
+func Mean(series []float64) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range series {
+		sum += v
+	}
+	return sum / float64(len(series))
+}

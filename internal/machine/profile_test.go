@@ -1,0 +1,93 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestProfileSampling(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ProfileEvery = sim.Ms(50)
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Profile
+	if p == nil || len(p.TimesMs) == 0 {
+		t.Fatal("no profile collected")
+	}
+	if len(p.DiskBusy) != len(p.TimesMs) || len(p.QPBusy) != len(p.TimesMs) ||
+		len(p.CacheUsed) != len(p.TimesMs) || len(p.Blocked) != len(p.TimesMs) {
+		t.Fatal("ragged profile series")
+	}
+	for i, v := range p.DiskBusy {
+		if v < 0 || v > 1 {
+			t.Fatalf("disk busy[%d] = %v", i, v)
+		}
+	}
+	// The random configuration keeps its disks busy most of the time.
+	if m := Mean(p.DiskBusy); m < 0.5 {
+		t.Fatalf("mean sampled disk busy %.2f, expected I/O bound", m)
+	}
+	// Samples stop when the run ends (+ at most one trailing tick).
+	last := p.TimesMs[len(p.TimesMs)-1]
+	if last > res.SimTime.ToMs()+cfg.ProfileEvery.ToMs() {
+		t.Fatalf("sampling ran past the workload: %v vs %v", last, res.SimTime.ToMs())
+	}
+}
+
+func TestProfileDisabledByDefault(t *testing.T) {
+	res, err := Run(smallConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile != nil {
+		t.Fatal("profile collected without ProfileEvery")
+	}
+}
+
+func TestProfileRender(t *testing.T) {
+	p := &Profile{
+		SampleEvery: sim.Ms(10),
+		TimesMs:     []float64{10, 20, 30, 40},
+		DiskBusy:    []float64{0, 0.5, 1, 0.5},
+		QPBusy:      []float64{0.1, 0.2, 0.3, 0.4},
+		CacheUsed:   []float64{1, 1, 1, 1},
+		Blocked:     []float64{0, 5, 10, 0},
+	}
+	out := p.Render(40)
+	for _, want := range []string{"data disks", "query procs", "cache used", "blocked pgs", "peak 10"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	empty := (&Profile{}).Render(10)
+	if !strings.Contains(empty, "no samples") {
+		t.Fatalf("empty render: %q", empty)
+	}
+}
+
+func TestCondense(t *testing.T) {
+	in := []float64{1, 1, 3, 3, 5, 5, 7, 7}
+	out := condense(in, 4)
+	if len(out) != 4 || out[0] != 1 || out[1] != 3 || out[2] != 5 || out[3] != 7 {
+		t.Fatalf("condensed = %v", out)
+	}
+	same := condense(in, 100)
+	if len(same) != len(in) {
+		t.Fatal("short series should pass through")
+	}
+}
+
+func TestSparkClamps(t *testing.T) {
+	s := spark([]float64{-1, 0, 0.5, 1, 2}, 1)
+	if len([]rune(s)) != 5 {
+		t.Fatalf("spark length: %q", s)
+	}
+	r := []rune(s)
+	if r[0] != sparkRunes[0] || r[4] != sparkRunes[len(sparkRunes)-1] {
+		t.Fatalf("clamping wrong: %q", s)
+	}
+}

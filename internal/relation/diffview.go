@@ -1,0 +1,240 @@
+package relation
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// Strategy selects how a differential view processes queries, mirroring the
+// simulation's Table 9 strategies at tuple granularity.
+type Strategy int
+
+const (
+	// Optimal set-differences only pages that produced at least one
+	// qualifying tuple.
+	Optimal Strategy = iota
+	// Basic set-differences every page of B and A.
+	Basic
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	if s == Basic {
+		return "basic"
+	}
+	return "optimal"
+}
+
+// DiffView is the paper's differential-file data model at tuple level:
+// a read-only base relation B, an additions relation A, and a deletions
+// relation D (which stores obituary keys). The view's contents are
+// (B ∪ A) − D. Updates never touch B, so B can be shared, snapshotted, or
+// used for hypothetical ("what if") processing à la Stonebraker's
+// hypothetical databases — discard A and D and the base is untouched.
+type DiffView struct {
+	B *Relation
+	A *Relation
+	D *Relation
+
+	// Comparisons counts tuple-pair comparisons performed by set
+	// differences — the CPU cost driver of the paper's Section 4.3.
+	Comparisons int64
+	// PagesDiffed / PagesSkipped count set-difference work per strategy.
+	PagesDiffed  int64
+	PagesSkipped int64
+}
+
+// NewDiffView lays B, A and D out over consecutive page ranges starting at
+// base: bPages for the base, then diffPages each for A and D.
+func NewDiffView(name string, base, bPages, diffPages int64) *DiffView {
+	return &DiffView{
+		B: New(name+".B", base, bPages),
+		A: New(name+".A", base+bPages, diffPages),
+		D: New(name+".D", base+bPages+diffPages, diffPages),
+	}
+}
+
+// Insert adds a tuple to the view (an A-file append).
+func (v *DiffView) Insert(tx *engine.Txn, t Tuple) error {
+	return v.A.Insert(tx, t)
+}
+
+// Delete removes key from the view: the exact current tuple is appended to
+// D as its obituary (D holds whole tuples, so an obituary never shadows a
+// newer version of the same key). B is untouched.
+func (v *DiffView) Delete(tx *engine.Txn, key int64) error {
+	cur, ok, err := v.Lookup(tx, key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil // nothing to delete
+	}
+	return v.D.Insert(tx, cur)
+}
+
+// Update replaces key's value: the old version's obituary goes to D and the
+// new tuple to A — exactly the paper's decomposition.
+func (v *DiffView) Update(tx *engine.Txn, key int64, value string) error {
+	if err := v.Delete(tx, key); err != nil {
+		return err
+	}
+	return v.Insert(tx, Tuple{Key: key, Value: value})
+}
+
+// dKeys loads the deletion set.
+func (v *DiffView) dKeys(tx *engine.Txn) ([]Tuple, error) {
+	return v.D.Scan(tx, nil)
+}
+
+// setDifference filters page tuples against the deletion set (exact-tuple
+// matches, since D holds whole tuples), counting every tuple-pair
+// comparison like the paper's CPU model does.
+func (v *DiffView) setDifference(page []Tuple, dels []Tuple) []Tuple {
+	out := page[:0:0]
+	for _, t := range page {
+		dead := false
+		for _, d := range dels {
+			v.Comparisons++
+			if d == t {
+				dead = true
+				// Keep scanning: the count models the paper's full
+				// set-difference pass over the D tuples.
+			}
+		}
+		if !dead {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Scan evaluates pred over the view contents (B ∪ A) − D using the given
+// strategy. Within B, a tuple superseded by an A entry for the same key is
+// also considered deleted (updates append both a D obituary and an A
+// version, so the D pass already handles it).
+func (v *DiffView) Scan(tx *engine.Txn, pred func(Tuple) bool, strat Strategy) ([]Tuple, error) {
+	dels, err := v.dKeys(tx)
+	if err != nil {
+		return nil, err
+	}
+	var out []Tuple
+	scanRel := func(r *Relation) error {
+		for i := int64(0); i < r.Pages; i++ {
+			tuples, err := r.page(tx, i)
+			if err != nil {
+				return err
+			}
+			matched := tuples[:0:0]
+			for _, t := range tuples {
+				if pred == nil || pred(t) {
+					matched = append(matched, t)
+				}
+			}
+			switch {
+			case len(matched) == 0 && strat == Optimal:
+				// The optimal strategy skips the set difference entirely
+				// when the scan yields no result tuples.
+				v.PagesSkipped++
+			case strat == Basic:
+				// Basic runs the difference over the whole page first, then
+				// filters the survivors.
+				v.PagesDiffed++
+				survivors := v.setDifference(tuples, dels)
+				for _, t := range survivors {
+					if pred == nil || pred(t) {
+						out = append(out, t)
+					}
+				}
+			default:
+				v.PagesDiffed++
+				out = append(out, v.setDifference(matched, dels)...)
+			}
+		}
+		return nil
+	}
+	if err := scanRel(v.B); err != nil {
+		return nil, err
+	}
+	if err := scanRel(v.A); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Lookup resolves a single key through the view: the newest A version wins,
+// a D obituary without a newer A version means absent, otherwise B.
+func (v *DiffView) Lookup(tx *engine.Txn, key int64) (Tuple, bool, error) {
+	matches, err := v.Scan(tx, func(t Tuple) bool { return t.Key == key }, Optimal)
+	if err != nil {
+		return Tuple{}, false, err
+	}
+	if len(matches) == 0 {
+		return Tuple{}, false, nil
+	}
+	// A pages are scanned after B, so the last match is the newest version.
+	return matches[len(matches)-1], true, nil
+}
+
+// Merge folds the committed view into B and truncates A and D — the
+// maintenance operation whose deferral grows the differential files
+// (Table 11).
+func (v *DiffView) Merge(tx *engine.Txn) error {
+	merged, err := v.Scan(tx, nil, Optimal)
+	if err != nil {
+		return err
+	}
+	// Deduplicate by key, newest version winning.
+	newest := map[int64]Tuple{}
+	order := []int64{}
+	for _, t := range merged {
+		if _, seen := newest[t.Key]; !seen {
+			order = append(order, t.Key)
+		}
+		newest[t.Key] = t
+	}
+	// Rewrite B, clear A and D.
+	for i := int64(0); i < v.B.Pages; i++ {
+		if err := v.B.writePage(tx, i, nil); err != nil {
+			return err
+		}
+	}
+	for _, k := range order {
+		if err := v.B.Insert(tx, newest[k]); err != nil {
+			return err
+		}
+	}
+	for i := int64(0); i < v.A.Pages; i++ {
+		if err := v.A.writePage(tx, i, nil); err != nil {
+			return err
+		}
+	}
+	for i := int64(0); i < v.D.Pages; i++ {
+		if err := v.D.writePage(tx, i, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DiffSizeFrac reports |A|+|D| relative to |B| in tuples — the knob of
+// Table 11.
+func (v *DiffView) DiffSizeFrac(tx *engine.Txn) (float64, error) {
+	nb, err := v.B.Count(tx)
+	if err != nil {
+		return 0, err
+	}
+	na, err := v.A.Count(tx)
+	if err != nil {
+		return 0, err
+	}
+	nd, err := v.D.Count(tx)
+	if err != nil {
+		return 0, err
+	}
+	if nb == 0 {
+		return 0, fmt.Errorf("relation: empty base")
+	}
+	return float64(na+nd) / float64(nb), nil
+}

@@ -1,0 +1,320 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+func newView(t *testing.T) (*engine.Engine, *DiffView) {
+	t.Helper()
+	e := newEngine(t, 32)
+	v := NewDiffView("r", 0, 8, 8)
+	return e, v
+}
+
+func loadBase(t *testing.T, e *engine.Engine, v *DiffView, n int64) {
+	t.Helper()
+	if err := e.Update(func(tx *engine.Txn) error {
+		for i := int64(0); i < n; i++ {
+			if err := v.B.Insert(tx, Tuple{Key: i, Value: fmt.Sprintf("base%d", i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffViewResolution(t *testing.T) {
+	e, v := newView(t)
+	loadBase(t, e, v, 20)
+	err := e.Update(func(tx *engine.Txn) error {
+		if err := v.Update(tx, 3, "updated"); err != nil {
+			return err
+		}
+		if err := v.Delete(tx, 5); err != nil {
+			return err
+		}
+		return v.Insert(tx, Tuple{Key: 100, Value: "new"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Update(func(tx *engine.Txn) error {
+		if got, ok, _ := v.Lookup(tx, 3); !ok || got.Value != "updated" {
+			return fmt.Errorf("lookup 3: %v %v", got, ok)
+		}
+		if _, ok, _ := v.Lookup(tx, 5); ok {
+			return fmt.Errorf("deleted key visible")
+		}
+		if got, ok, _ := v.Lookup(tx, 100); !ok || got.Value != "new" {
+			return fmt.Errorf("insert lost: %v %v", got, ok)
+		}
+		if got, ok, _ := v.Lookup(tx, 7); !ok || got.Value != "base7" {
+			return fmt.Errorf("base read: %v %v", got, ok)
+		}
+		all, err := v.Scan(tx, nil, Optimal)
+		if err != nil {
+			return err
+		}
+		if len(all) != 20 { // 20 - 1 deleted + 1 inserted
+			return fmt.Errorf("view size %d", len(all))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedUpdatesSameKey(t *testing.T) {
+	e, v := newView(t)
+	loadBase(t, e, v, 5)
+	for i := 0; i < 4; i++ {
+		i := i
+		if err := e.Update(func(tx *engine.Txn) error {
+			return v.Update(tx, 2, fmt.Sprintf("rev%d", i))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := e.Update(func(tx *engine.Txn) error {
+		got, ok, err := v.Lookup(tx, 2)
+		if err != nil || !ok {
+			return fmt.Errorf("lookup: %v %v", ok, err)
+		}
+		if got.Value != "rev3" {
+			return fmt.Errorf("stale version: %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasicDiffsMorePagesThanOptimal(t *testing.T) {
+	e, v := newView(t)
+	loadBase(t, e, v, 40)
+	if err := e.Update(func(tx *engine.Txn) error { return v.Update(tx, 1, "x") }); err != nil {
+		t.Fatal(err)
+	}
+	selective := func(t Tuple) bool { return t.Key == 1 }
+	err := e.Update(func(tx *engine.Txn) error {
+		v.PagesDiffed, v.PagesSkipped, v.Comparisons = 0, 0, 0
+		if _, err := v.Scan(tx, selective, Basic); err != nil {
+			return err
+		}
+		basicDiffed, basicComps := v.PagesDiffed, v.Comparisons
+
+		v.PagesDiffed, v.PagesSkipped, v.Comparisons = 0, 0, 0
+		if _, err := v.Scan(tx, selective, Optimal); err != nil {
+			return err
+		}
+		optDiffed, optComps, optSkipped := v.PagesDiffed, v.Comparisons, v.PagesSkipped
+
+		if basicDiffed <= optDiffed {
+			return fmt.Errorf("basic diffed %d pages, optimal %d", basicDiffed, optDiffed)
+		}
+		if basicComps <= optComps {
+			return fmt.Errorf("basic %d comparisons, optimal %d", basicComps, optComps)
+		}
+		if optSkipped == 0 {
+			return fmt.Errorf("optimal never skipped a page")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeFoldsDifferentials(t *testing.T) {
+	e, v := newView(t)
+	loadBase(t, e, v, 10)
+	if err := e.Update(func(tx *engine.Txn) error {
+		if err := v.Update(tx, 1, "merged"); err != nil {
+			return err
+		}
+		return v.Delete(tx, 2)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Update(func(tx *engine.Txn) error { return v.Merge(tx) }); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Update(func(tx *engine.Txn) error {
+		frac, err := v.DiffSizeFrac(tx)
+		if err != nil {
+			return err
+		}
+		if frac != 0 {
+			return fmt.Errorf("differentials remain: %v", frac)
+		}
+		if got, ok, _ := v.Lookup(tx, 1); !ok || got.Value != "merged" {
+			return fmt.Errorf("merged update lost: %v", got)
+		}
+		if _, ok, _ := v.Lookup(tx, 2); ok {
+			return fmt.Errorf("merged delete lost")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHypotheticalDiscard(t *testing.T) {
+	// Stonebraker's hypothetical database: run "what if" updates in the
+	// differentials, inspect the view, then abort — the base is untouched.
+	e, v := newView(t)
+	loadBase(t, e, v, 10)
+	tx, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Update(tx, 0, "hypothetical"); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := v.Lookup(tx, 0)
+	if err != nil || !ok || got.Value != "hypothetical" {
+		t.Fatalf("hypothesis invisible: %v %v %v", got, ok, err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	err = e.Update(func(tx *engine.Txn) error {
+		got, ok, err := v.Lookup(tx, 0)
+		if err != nil || !ok || got.Value != "base0" {
+			return fmt.Errorf("base mutated: %v %v %v", got, ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelDiffScanMatchesSerial(t *testing.T) {
+	e, v := newView(t)
+	loadBase(t, e, v, 60)
+	if err := e.Update(func(tx *engine.Txn) error {
+		for k := int64(0); k < 10; k++ {
+			if err := v.Update(tx, k*3, fmt.Sprintf("u%d", k)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pred := func(t Tuple) bool { return t.Key%2 == 0 }
+	err := e.Update(func(tx *engine.Txn) error {
+		serial, err := v.Scan(tx, pred, Optimal)
+		if err != nil {
+			return err
+		}
+		par, err := ParallelDiffScan(tx, v, pred, Optimal, 4)
+		if err != nil {
+			return err
+		}
+		if len(par) != len(serial) {
+			return fmt.Errorf("parallel %d vs serial %d", len(par), len(serial))
+		}
+		for i := range par {
+			if par[i] != serial[i] {
+				return fmt.Errorf("order differs at %d: %v vs %v", i, par[i], serial[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffViewEquivalenceProperty(t *testing.T) {
+	// Property: the view equals a model map under random committed ops,
+	// regardless of strategy.
+	f := func(ops []uint16) bool {
+		e := engine.NewWAL(wal.Config{})
+		for p := int64(0); p < 24; p++ {
+			if err := e.Load(p, nil); err != nil {
+				return false
+			}
+		}
+		v := NewDiffView("q", 0, 8, 8)
+		model := map[int64]string{}
+		for i := int64(0); i < 10; i++ {
+			i := i
+			if e.Update(func(tx *engine.Txn) error {
+				return v.B.Insert(tx, Tuple{Key: i, Value: fmt.Sprintf("b%d", i)})
+			}) != nil {
+				return false
+			}
+			model[i] = fmt.Sprintf("b%d", i)
+		}
+		for n, op := range ops {
+			if n > 25 {
+				break // keep differential relations within capacity
+			}
+			key := int64(op % 12)
+			val := fmt.Sprintf("n%d", n)
+			err := e.Update(func(tx *engine.Txn) error {
+				switch op % 3 {
+				case 0:
+					if _, ok := model[key]; ok {
+						if err := v.Update(tx, key, val); err != nil {
+							return err
+						}
+						model[key] = val
+					}
+				case 1:
+					if err := v.Delete(tx, key); err != nil {
+						return err
+					}
+					delete(model, key)
+				case 2:
+					if _, ok := model[key]; !ok {
+						if err := v.Insert(tx, Tuple{Key: key, Value: val}); err != nil {
+							return err
+						}
+						model[key] = val
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return false
+			}
+		}
+		ok := true
+		err := e.Update(func(tx *engine.Txn) error {
+			for _, strat := range []Strategy{Basic, Optimal} {
+				all, err := v.Scan(tx, nil, strat)
+				if err != nil {
+					return err
+				}
+				if len(all) != len(model) {
+					ok = false
+					return nil
+				}
+				for _, t := range all {
+					if model[t.Key] != t.Value {
+						ok = false
+					}
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package relation_test
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/relation"
+	"repro/internal/wal"
+)
+
+// Example builds a differential view, updates it without ever touching the
+// base file, and resolves reads through (B ∪ A) − D.
+func Example() {
+	eng := engine.NewWAL(wal.Config{})
+	for p := int64(0); p < 12; p++ {
+		if err := eng.Load(p, nil); err != nil {
+			panic(err)
+		}
+	}
+	view := relation.NewDiffView("parts", 0, 4, 4)
+
+	err := eng.Update(func(tx *engine.Txn) error {
+		for i := int64(1); i <= 3; i++ {
+			t := relation.Tuple{Key: i, Value: fmt.Sprintf("part-%d", i)}
+			if err := view.B.Insert(tx, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	err = eng.Update(func(tx *engine.Txn) error {
+		if err := view.Update(tx, 2, "part-2 (revised)"); err != nil {
+			return err
+		}
+		return view.Delete(tx, 3)
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	err = eng.Update(func(tx *engine.Txn) error {
+		all, err := view.Scan(tx, nil, relation.Optimal)
+		if err != nil {
+			return err
+		}
+		relation.SortByKey(all)
+		for _, t := range all {
+			fmt.Printf("%d: %s\n", t.Key, t.Value)
+		}
+		base, err := view.B.Count(tx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("base file still holds %d tuples\n", base)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output:
+	// 1: part-1
+	// 2: part-2 (revised)
+	// base file still holds 3 tuples
+}

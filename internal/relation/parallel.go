@@ -1,0 +1,147 @@
+package relation
+
+import (
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// ParallelScan evaluates pred over the relation with the given number of
+// goroutine workers, each scanning a contiguous page range — the shape of
+// the paper's parallel algorithms for relational operations ([4], [21]),
+// with goroutines standing in for query processors. Results come back in
+// page order.
+//
+// All workers share tx (page locks are shared-mode and the engine is safe
+// for concurrent reads); the caller must not commit or abort concurrently.
+func ParallelScan(tx *engine.Txn, r *Relation, pred func(Tuple) bool, workers int) ([]Tuple, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if int64(workers) > r.Pages {
+		workers = int(r.Pages)
+	}
+	parts := make([][]Tuple, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		lo := r.Pages * int64(w) / int64(workers)
+		hi := r.Pages * int64(w+1) / int64(workers)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				tuples, err := r.page(tx, i)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				for _, t := range tuples {
+					if pred == nil || pred(t) {
+						parts[w] = append(parts[w], t)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var out []Tuple
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		out = append(out, parts[w]...)
+	}
+	return out, nil
+}
+
+// ParallelDiffScan is ParallelScan over a differential view: each worker
+// handles a page range of B and A and applies the set difference against a
+// shared deletion set, merging results in page order. Comparisons are
+// accumulated on the view afterwards (single-threaded bookkeeping).
+func ParallelDiffScan(tx *engine.Txn, v *DiffView, pred func(Tuple) bool, strat Strategy, workers int) ([]Tuple, error) {
+	dels, err := v.dKeys(tx)
+	if err != nil {
+		return nil, err
+	}
+	scan := func(r *Relation) ([]Tuple, error) {
+		if workers < 1 {
+			workers = 1
+		}
+		w := workers
+		if int64(w) > r.Pages {
+			w = int(r.Pages)
+		}
+		parts := make([][]Tuple, w)
+		comps := make([]int64, w)
+		diffed := make([]int64, w)
+		skipped := make([]int64, w)
+		errs := make([]error, w)
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			k := k
+			lo := r.Pages * int64(k) / int64(w)
+			hi := r.Pages * int64(k+1) / int64(w)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					tuples, err := r.page(tx, i)
+					if err != nil {
+						errs[k] = err
+						return
+					}
+					matched := tuples[:0:0]
+					for _, t := range tuples {
+						if pred == nil || pred(t) {
+							matched = append(matched, t)
+						}
+					}
+					if len(matched) == 0 && strat == Optimal {
+						skipped[k]++
+						continue
+					}
+					diffed[k]++
+					source := matched
+					if strat == Basic {
+						source = tuples
+					}
+					for _, t := range source {
+						dead := false
+						for _, d := range dels {
+							comps[k]++
+							if d == t {
+								dead = true
+							}
+						}
+						if !dead && (pred == nil || pred(t)) {
+							parts[k] = append(parts[k], t)
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		var out []Tuple
+		for k := 0; k < w; k++ {
+			if errs[k] != nil {
+				return nil, errs[k]
+			}
+			out = append(out, parts[k]...)
+			v.Comparisons += comps[k]
+			v.PagesDiffed += diffed[k]
+			v.PagesSkipped += skipped[k]
+		}
+		return out, nil
+	}
+	bOut, err := scan(v.B)
+	if err != nil {
+		return nil, err
+	}
+	aOut, err := scan(v.A)
+	if err != nil {
+		return nil, err
+	}
+	return append(bOut, aOut...), nil
+}

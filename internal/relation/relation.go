@@ -1,0 +1,220 @@
+// Package relation is a tuple-level layer over the functional transactional
+// engines: heap-file relations of keyed tuples packed into pages, plus the
+// paper's differential-file view R = (B ∪ A) − D at tuple granularity with
+// both of the query-processing strategies Table 9 compares (the basic
+// strategy set-differences every page, the optimal strategy only pages that
+// produce result tuples), and a parallel scan that fans page ranges out to
+// goroutine "query processors" in the spirit of the paper's reference [21].
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+)
+
+// Tuple is one record: a key and an uninterpreted value.
+type Tuple struct {
+	Key   int64
+	Value string
+}
+
+// encode layout per tuple: 8-byte key, 4-byte length, value bytes.
+func (t Tuple) encodedSize() int { return 12 + len(t.Value) }
+
+func appendTuple(buf []byte, t Tuple) []byte {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], uint64(t.Key))
+	buf = append(buf, k[:]...)
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(t.Value)))
+	buf = append(buf, l[:]...)
+	return append(buf, t.Value...)
+}
+
+func decodeTuple(buf []byte) (Tuple, int, error) {
+	if len(buf) < 12 {
+		return Tuple{}, 0, fmt.Errorf("relation: truncated tuple header")
+	}
+	key := int64(binary.BigEndian.Uint64(buf))
+	n := int(binary.BigEndian.Uint32(buf[8:]))
+	if len(buf) < 12+n {
+		return Tuple{}, 0, fmt.Errorf("relation: truncated tuple value")
+	}
+	return Tuple{Key: key, Value: string(buf[12 : 12+n])}, 12 + n, nil
+}
+
+// encodePage packs tuples into a page image: 4-byte count then tuples.
+func encodePage(tuples []Tuple) []byte {
+	var c [4]byte
+	binary.BigEndian.PutUint32(c[:], uint32(len(tuples)))
+	buf := append([]byte(nil), c[:]...)
+	for _, t := range tuples {
+		buf = appendTuple(buf, t)
+	}
+	return buf
+}
+
+func decodePage(buf []byte) ([]Tuple, error) {
+	if len(buf) == 0 {
+		return nil, nil
+	}
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("relation: truncated page header")
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	buf = buf[4:]
+	// Each tuple needs at least 12 bytes; a count beyond that is corruption
+	// (and must not drive the allocation below).
+	if n > len(buf)/12 {
+		return nil, fmt.Errorf("relation: corrupt page: %d tuples in %d bytes", n, len(buf))
+	}
+	out := make([]Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		t, sz, err := decodeTuple(buf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		buf = buf[sz:]
+	}
+	return out, nil
+}
+
+// pageBudget leaves headroom below the 4 KB page size.
+const pageBudget = 3900
+
+// Relation is a heap file of tuples spread over a fixed page range
+// [Base, Base+Pages) of the underlying engine. All access goes through a
+// transaction, so relations inherit locking, atomicity and recovery from
+// the engine.
+type Relation struct {
+	Name  string
+	Base  int64
+	Pages int64
+}
+
+// New defines a relation over the page range [base, base+pages).
+func New(name string, base, pages int64) *Relation {
+	if pages <= 0 {
+		panic("relation: need at least one page")
+	}
+	return &Relation{Name: name, Base: base, Pages: pages}
+}
+
+func (r *Relation) page(tx *engine.Txn, i int64) ([]Tuple, error) {
+	buf, err := tx.Read(r.Base + i)
+	if err != nil {
+		return nil, err
+	}
+	return decodePage(buf)
+}
+
+func (r *Relation) writePage(tx *engine.Txn, i int64, tuples []Tuple) error {
+	return tx.Write(r.Base+i, encodePage(tuples))
+}
+
+// Insert adds a tuple, packing it into the first page with room.
+func (r *Relation) Insert(tx *engine.Txn, t Tuple) error {
+	need := t.encodedSize()
+	for i := int64(0); i < r.Pages; i++ {
+		tuples, err := r.page(tx, i)
+		if err != nil {
+			return err
+		}
+		used := 4
+		for _, u := range tuples {
+			used += u.encodedSize()
+		}
+		if used+need <= pageBudget {
+			return r.writePage(tx, i, append(tuples, t))
+		}
+	}
+	return fmt.Errorf("relation %s: full (%d pages)", r.Name, r.Pages)
+}
+
+// Delete removes every tuple with the given key; it reports how many were
+// removed.
+func (r *Relation) Delete(tx *engine.Txn, key int64) (int, error) {
+	removed := 0
+	for i := int64(0); i < r.Pages; i++ {
+		tuples, err := r.page(tx, i)
+		if err != nil {
+			return removed, err
+		}
+		kept := tuples[:0]
+		for _, t := range tuples {
+			if t.Key == key {
+				removed++
+				continue
+			}
+			kept = append(kept, t)
+		}
+		if len(kept) != len(tuples) {
+			if err := r.writePage(tx, i, kept); err != nil {
+				return removed, err
+			}
+		}
+	}
+	return removed, nil
+}
+
+// Update rewrites the value of every tuple with the given key.
+func (r *Relation) Update(tx *engine.Txn, key int64, value string) (int, error) {
+	updated := 0
+	for i := int64(0); i < r.Pages; i++ {
+		tuples, err := r.page(tx, i)
+		if err != nil {
+			return updated, err
+		}
+		changed := false
+		for j := range tuples {
+			if tuples[j].Key == key {
+				tuples[j].Value = value
+				updated++
+				changed = true
+			}
+		}
+		if changed {
+			if err := r.writePage(tx, i, tuples); err != nil {
+				return updated, err
+			}
+		}
+	}
+	return updated, nil
+}
+
+// Scan returns every tuple satisfying pred (nil = all), in page order.
+func (r *Relation) Scan(tx *engine.Txn, pred func(Tuple) bool) ([]Tuple, error) {
+	var out []Tuple
+	for i := int64(0); i < r.Pages; i++ {
+		tuples, err := r.page(tx, i)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range tuples {
+			if pred == nil || pred(t) {
+				out = append(out, t)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Lookup returns the tuples with the given key.
+func (r *Relation) Lookup(tx *engine.Txn, key int64) ([]Tuple, error) {
+	return r.Scan(tx, func(t Tuple) bool { return t.Key == key })
+}
+
+// Count reports the number of tuples in the relation.
+func (r *Relation) Count(tx *engine.Txn) (int, error) {
+	all, err := r.Scan(tx, nil)
+	return len(all), err
+}
+
+// SortByKey orders tuples by key (stable helper for tests and reports).
+func SortByKey(ts []Tuple) {
+	sort.SliceStable(ts, func(i, j int) bool { return ts[i].Key < ts[j].Key })
+}

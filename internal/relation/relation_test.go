@@ -1,0 +1,259 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+func newEngine(t *testing.T, pages int64) *engine.Engine {
+	t.Helper()
+	e := engine.NewWAL(wal.Config{Streams: 2, Selection: wal.PageMod})
+	for p := int64(0); p < pages; p++ {
+		if err := e.Load(p, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func TestTupleCodecProperty(t *testing.T) {
+	f := func(key int64, value string) bool {
+		buf := appendTuple(nil, Tuple{Key: key, Value: value})
+		out, n, err := decodeTuple(buf)
+		return err == nil && n == len(buf) && out.Key == key && out.Value == value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageCodecRoundTrip(t *testing.T) {
+	in := []Tuple{{1, "a"}, {2, "bb"}, {3, ""}}
+	out, err := decodePage(encodePage(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0] != in[0] || out[1] != in[1] || out[2] != in[2] {
+		t.Fatalf("round trip: %v", out)
+	}
+	empty, err := decodePage(nil)
+	if err != nil || empty != nil {
+		t.Fatalf("empty page: %v %v", empty, err)
+	}
+}
+
+func TestRelationCRUD(t *testing.T) {
+	e := newEngine(t, 16)
+	r := New("accounts", 0, 8)
+	err := e.Update(func(tx *engine.Txn) error {
+		for i := int64(0); i < 50; i++ {
+			if err := r.Insert(tx, Tuple{Key: i, Value: fmt.Sprintf("v%d", i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Update(func(tx *engine.Txn) error {
+		n, err := r.Count(tx)
+		if err != nil {
+			return err
+		}
+		if n != 50 {
+			return fmt.Errorf("count = %d", n)
+		}
+		got, err := r.Lookup(tx, 7)
+		if err != nil {
+			return err
+		}
+		if len(got) != 1 || got[0].Value != "v7" {
+			return fmt.Errorf("lookup 7 = %v", got)
+		}
+		if _, err := r.Update(tx, 7, "updated"); err != nil {
+			return err
+		}
+		if removed, err := r.Delete(tx, 9); err != nil || removed != 1 {
+			return fmt.Errorf("delete: %d %v", removed, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Update(func(tx *engine.Txn) error {
+		got, err := r.Lookup(tx, 7)
+		if err != nil {
+			return err
+		}
+		if len(got) != 1 || got[0].Value != "updated" {
+			return fmt.Errorf("update lost: %v", got)
+		}
+		if got, err := r.Lookup(tx, 9); err != nil || len(got) != 0 {
+			return fmt.Errorf("delete lost: %v %v", got, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelationFullError(t *testing.T) {
+	e := newEngine(t, 2)
+	r := New("tiny", 0, 1)
+	err := e.Update(func(tx *engine.Txn) error {
+		big := make([]byte, 1000)
+		for i := int64(0); ; i++ {
+			if err := r.Insert(tx, Tuple{Key: i, Value: string(big)}); err != nil {
+				return err
+			}
+			if i > 10 {
+				return fmt.Errorf("relation never filled")
+			}
+		}
+	})
+	if err == nil || err.Error() == "relation never filled" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRelationSurvivesCrash(t *testing.T) {
+	e := newEngine(t, 8)
+	r := New("t", 0, 4)
+	if err := e.Update(func(tx *engine.Txn) error {
+		return r.Insert(tx, Tuple{Key: 1, Value: "keep"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.Crash()
+	if err := e.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Update(func(tx *engine.Txn) error {
+		got, err := r.Lookup(tx, 1)
+		if err != nil {
+			return err
+		}
+		if len(got) != 1 || got[0].Value != "keep" {
+			return fmt.Errorf("lost: %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelationModelProperty(t *testing.T) {
+	// Property: relation contents always equal a model map under random
+	// insert/update/delete sequences.
+	f := func(ops []uint16) bool {
+		e := engine.NewWAL(wal.Config{})
+		for p := int64(0); p < 8; p++ {
+			if err := e.Load(p, nil); err != nil {
+				return false
+			}
+		}
+		r := New("m", 0, 8)
+		model := map[int64]string{}
+		for i, op := range ops {
+			key := int64(op % 16)
+			val := fmt.Sprintf("v%d", i)
+			err := e.Update(func(tx *engine.Txn) error {
+				switch op % 3 {
+				case 0:
+					if _, ok := model[key]; !ok {
+						if err := r.Insert(tx, Tuple{Key: key, Value: val}); err != nil {
+							return err
+						}
+						model[key] = val
+					}
+				case 1:
+					n, err := r.Update(tx, key, val)
+					if err != nil {
+						return err
+					}
+					if n > 0 {
+						model[key] = val
+					}
+				case 2:
+					if _, err := r.Delete(tx, key); err != nil {
+						return err
+					}
+					delete(model, key)
+				}
+				return nil
+			})
+			if err != nil {
+				return false
+			}
+		}
+		ok := true
+		err := e.Update(func(tx *engine.Txn) error {
+			all, err := r.Scan(tx, nil)
+			if err != nil {
+				return err
+			}
+			if len(all) != len(model) {
+				ok = false
+				return nil
+			}
+			for _, t := range all {
+				if model[t.Key] != t.Value {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelScanMatchesSerial(t *testing.T) {
+	e := newEngine(t, 16)
+	r := New("p", 0, 16)
+	if err := e.Update(func(tx *engine.Txn) error {
+		for i := int64(0); i < 200; i++ {
+			if err := r.Insert(tx, Tuple{Key: i, Value: fmt.Sprintf("v%d", i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pred := func(t Tuple) bool { return t.Key%3 == 0 }
+	err := e.Update(func(tx *engine.Txn) error {
+		serial, err := r.Scan(tx, pred)
+		if err != nil {
+			return err
+		}
+		for _, workers := range []int{1, 2, 4, 32} {
+			par, err := ParallelScan(tx, r, pred, workers)
+			if err != nil {
+				return err
+			}
+			if len(par) != len(serial) {
+				return fmt.Errorf("%d workers: %d vs %d tuples", workers, len(par), len(serial))
+			}
+			for i := range par {
+				if par[i] != serial[i] {
+					return fmt.Errorf("%d workers: order differs at %d", workers, i)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

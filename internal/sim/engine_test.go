@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.After(30*Millisecond, func() { order = append(order, 3) })
+	e.After(10*Millisecond, func() { order = append(order, 1) })
+	e.After(20*Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if e.Now() != 30*Millisecond {
+		t.Fatalf("clock = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineSimultaneousEventsFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(5*Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := New()
+	var fired []Time
+	e.After(Millisecond, func() {
+		fired = append(fired, e.Now())
+		e.After(Millisecond, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != Millisecond || fired[1] != 2*Millisecond {
+		t.Fatalf("nested scheduling wrong: %v", fired)
+	}
+}
+
+func TestEnginePanicsOnPastEvent(t *testing.T) {
+	e := New()
+	e.After(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEnginePanicsOnNegativeDelay(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := New()
+	ran := false
+	e.After(5*Millisecond, func() { ran = true })
+	e.RunUntil(3 * Millisecond)
+	if ran {
+		t.Fatal("event at 5ms ran during RunUntil(3ms)")
+	}
+	if e.Now() != 3*Millisecond {
+		t.Fatalf("clock = %v, want 3ms", e.Now())
+	}
+	e.RunUntil(10 * Millisecond)
+	if !ran {
+		t.Fatal("event at 5ms did not run by 10ms")
+	}
+	if e.Now() != 10*Millisecond {
+		t.Fatalf("clock = %v, want 10ms", e.Now())
+	}
+}
+
+func TestMsConversions(t *testing.T) {
+	if Ms(2.5) != 2500 {
+		t.Fatalf("Ms(2.5) = %d", Ms(2.5))
+	}
+	if got := (2500 * Microsecond).ToMs(); got != 2.5 {
+		t.Fatalf("ToMs = %v", got)
+	}
+	if s := Ms(1.5).String(); s != "1.500ms" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEventOrderingProperty(t *testing.T) {
+	// Property: for any set of delays, events fire in nondecreasing time order.
+	f := func(delays []uint16) bool {
+		e := New()
+		var times []Time
+		for _, d := range delays {
+			e.After(Time(d), func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

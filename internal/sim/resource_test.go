@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceSingleServerFCFS(t *testing.T) {
+	e := New()
+	r := NewResource(e, "qp", 1)
+	var done []int
+	for i := 0; i < 3; i++ {
+		i := i
+		r.Request(10*Millisecond, func() { done = append(done, i) })
+	}
+	e.Run()
+	if len(done) != 3 || done[0] != 0 || done[1] != 1 || done[2] != 2 {
+		t.Fatalf("completion order %v", done)
+	}
+	if e.Now() != 30*Millisecond {
+		t.Fatalf("three serial 10ms jobs finished at %v", e.Now())
+	}
+	if r.Served() != 3 {
+		t.Fatalf("served = %d", r.Served())
+	}
+}
+
+func TestResourceParallelServers(t *testing.T) {
+	e := New()
+	r := NewResource(e, "qp", 3)
+	count := 0
+	for i := 0; i < 3; i++ {
+		r.Request(10*Millisecond, func() { count++ })
+	}
+	e.Run()
+	if e.Now() != 10*Millisecond {
+		t.Fatalf("3 parallel jobs on 3 servers took %v, want 10ms", e.Now())
+	}
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := New()
+	r := NewResource(e, "disk", 1)
+	r.Request(10*Millisecond, nil)
+	e.Run()
+	e.RunUntil(20 * Millisecond) // idle second half
+	u := r.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+	if r.BusyTime() != 10*Millisecond {
+		t.Fatalf("busy time = %v", r.BusyTime())
+	}
+}
+
+func TestResourceQueueStats(t *testing.T) {
+	e := New()
+	r := NewResource(e, "disk", 1)
+	for i := 0; i < 4; i++ {
+		r.Request(10*Millisecond, nil)
+	}
+	if r.QueueLen() != 3 {
+		t.Fatalf("queue = %d, want 3", r.QueueLen())
+	}
+	e.Run()
+	if r.QueueLen() != 0 {
+		t.Fatalf("queue not drained: %d", r.QueueLen())
+	}
+	if mq := r.MeanQueue(); mq <= 0 {
+		t.Fatalf("mean queue = %v, want > 0", mq)
+	}
+}
+
+func TestResourceServiceFnEvaluatedAtDispatch(t *testing.T) {
+	e := New()
+	r := NewResource(e, "disk", 1)
+	var dispatchTimes []Time
+	svc := func() Time {
+		dispatchTimes = append(dispatchTimes, e.Now())
+		return 5 * Millisecond
+	}
+	r.RequestFn(svc, nil)
+	r.RequestFn(svc, nil)
+	e.Run()
+	if len(dispatchTimes) != 2 || dispatchTimes[0] != 0 || dispatchTimes[1] != 5*Millisecond {
+		t.Fatalf("dispatch times %v", dispatchTimes)
+	}
+}
+
+func TestResourceConservation(t *testing.T) {
+	// Property: every request eventually completes exactly once, and total
+	// elapsed time >= total service / capacity.
+	f := func(services []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%4) + 1
+		e := New()
+		r := NewResource(e, "x", capacity)
+		completed := 0
+		var total Time
+		for _, s := range services {
+			d := Time(s) * Microsecond
+			total += d
+			r.Request(d, func() { completed++ })
+		}
+		e.Run()
+		if completed != len(services) {
+			return false
+		}
+		minElapsed := total / Time(capacity)
+		return e.Now() >= minElapsed-Time(len(services)) // rounding slack
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewResourcePanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	NewResource(New(), "bad", 0)
+}
+
+func TestRequestServerIDs(t *testing.T) {
+	e := New()
+	r := NewResource(e, "qp", 3)
+	seen := map[int]int{}
+	for i := 0; i < 9; i++ {
+		r.RequestServer(10*Millisecond, func(server int) {
+			if server < 0 || server >= 3 {
+				t.Errorf("server id %d out of range", server)
+			}
+			seen[server]++
+		})
+	}
+	e.Run()
+	// All three servers carried load (3 jobs each under FCFS).
+	for s := 0; s < 3; s++ {
+		if seen[s] != 3 {
+			t.Fatalf("server %d served %d jobs: %v", s, seen[s], seen)
+		}
+	}
+}
+
+func TestRequestServerReusesFreedIDs(t *testing.T) {
+	e := New()
+	r := NewResource(e, "qp", 1)
+	var ids []int
+	for i := 0; i < 3; i++ {
+		r.RequestServer(Millisecond, func(server int) { ids = append(ids, server) })
+	}
+	e.Run()
+	for _, id := range ids {
+		if id != 0 {
+			t.Fatalf("single-server resource issued id %d", id)
+		}
+	}
+}

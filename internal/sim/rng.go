@@ -1,0 +1,86 @@
+package sim
+
+import "math/rand"
+
+// RNG is a deterministic random number source for simulations. It wraps
+// math/rand with the small set of distributions the models need so that all
+// randomness flows through one seeded stream per simulation run.
+type RNG struct {
+	r     *rand.Rand
+	zipfs map[zipfKey]*rand.Zipf
+}
+
+// NewRNG returns an RNG seeded with seed. Identical seeds yield identical
+// streams.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Intn returns a uniform int in [0, n). n must be > 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// UniformInt returns a uniform int in [lo, hi] inclusive.
+func (g *RNG) UniformInt(lo, hi int) int {
+	if hi < lo {
+		panic("sim: UniformInt with hi < lo")
+	}
+	return lo + g.r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// SampleDistinct returns k distinct uniform ints from [0, n), in random
+// order. It panics if k > n.
+func (g *RNG) SampleDistinct(k, n int) []int {
+	if k > n {
+		panic("sim: SampleDistinct with k > n")
+	}
+	// Floyd's algorithm: O(k) expected work, no O(n) allocation.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := g.r.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	// Floyd's preserves an ordering bias; shuffle for a uniform order.
+	g.r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (g *RNG) Exp(mean float64) float64 { return g.r.ExpFloat64() * mean }
+
+// Zipf returns a Zipf-distributed int in [0, n) with parameter s > 1 (the
+// distribution is cached per (s, n) pair, so repeated draws are cheap).
+func (g *RNG) Zipf(s float64, n int) int {
+	key := zipfKey{s: s, n: n}
+	z := g.zipfs[key]
+	if z == nil {
+		if g.zipfs == nil {
+			g.zipfs = make(map[zipfKey]*rand.Zipf)
+		}
+		z = rand.NewZipf(g.r, s, 1, uint64(n-1))
+		g.zipfs[key] = z
+	}
+	return int(z.Uint64())
+}
+
+type zipfKey struct {
+	s float64
+	n int
+}
+
+// Fork derives an independent RNG stream from this one; useful to give
+// submodels their own streams while keeping whole-run determinism.
+func (g *RNG) Fork() *RNG { return NewRNG(g.r.Int63()) }

@@ -1,0 +1,114 @@
+package sim
+
+import "math"
+
+// Tally accumulates point samples and reports count/mean/min/max.
+// The zero value is ready to use.
+type Tally struct {
+	n    int64
+	sum  float64
+	sum2 float64
+	min  float64
+	max  float64
+}
+
+// Add records one sample.
+func (t *Tally) Add(v float64) {
+	if t.n == 0 || v < t.min {
+		t.min = v
+	}
+	if t.n == 0 || v > t.max {
+		t.max = v
+	}
+	t.n++
+	t.sum += v
+	t.sum2 += v * v
+}
+
+// Count reports the number of samples recorded.
+func (t *Tally) Count() int64 { return t.n }
+
+// Sum reports the sum of all samples.
+func (t *Tally) Sum() float64 { return t.sum }
+
+// Mean reports the sample mean, or 0 if no samples were recorded.
+func (t *Tally) Mean() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return t.sum / float64(t.n)
+}
+
+// Min reports the smallest sample, or 0 if none.
+func (t *Tally) Min() float64 { return t.min }
+
+// Max reports the largest sample, or 0 if none.
+func (t *Tally) Max() float64 { return t.max }
+
+// StdDev reports the population standard deviation of the samples.
+func (t *Tally) StdDev() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	m := t.Mean()
+	v := t.sum2/float64(t.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// TimeWeighted tracks a piecewise-constant quantity (queue length, number of
+// busy servers, blocked frames) and integrates it over virtual time so that
+// time-weighted means can be reported.
+type TimeWeighted struct {
+	eng      *Engine
+	start    Time
+	last     Time
+	value    float64
+	integral float64
+	max      float64
+}
+
+// NewTimeWeighted returns a tracker bound to eng starting at the current
+// virtual time with initial value 0.
+func NewTimeWeighted(eng *Engine) *TimeWeighted {
+	return &TimeWeighted{eng: eng, start: eng.Now(), last: eng.Now()}
+}
+
+func (w *TimeWeighted) catchUp() {
+	now := w.eng.Now()
+	if now > w.last {
+		w.integral += w.value * float64(now-w.last)
+		w.last = now
+	}
+}
+
+// Set replaces the tracked value as of the current virtual time.
+func (w *TimeWeighted) Set(v float64) {
+	w.catchUp()
+	w.value = v
+	if v > w.max {
+		w.max = v
+	}
+}
+
+// Adjust adds delta to the tracked value as of the current virtual time.
+func (w *TimeWeighted) Adjust(delta float64) { w.Set(w.value + delta) }
+
+// Value reports the current tracked value.
+func (w *TimeWeighted) Value() float64 { return w.value }
+
+// Max reports the largest value ever set.
+func (w *TimeWeighted) Max() float64 { return w.max }
+
+// Mean reports the time-weighted average of the value from creation to the
+// current virtual time. It is 0 if no time has elapsed.
+func (w *TimeWeighted) Mean() float64 {
+	w.catchUp()
+	elapsed := w.last - w.start
+	if elapsed <= 0 {
+		return 0
+	}
+	return w.integral / float64(elapsed)
+}

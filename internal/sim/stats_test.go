@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTallyBasics(t *testing.T) {
+	var ta Tally
+	if ta.Mean() != 0 || ta.Count() != 0 {
+		t.Fatal("zero Tally not zero")
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		ta.Add(v)
+	}
+	if ta.Count() != 4 {
+		t.Fatalf("count = %d", ta.Count())
+	}
+	if ta.Mean() != 2.5 {
+		t.Fatalf("mean = %v", ta.Mean())
+	}
+	if ta.Min() != 1 || ta.Max() != 4 {
+		t.Fatalf("min/max = %v/%v", ta.Min(), ta.Max())
+	}
+	want := math.Sqrt(1.25)
+	if math.Abs(ta.StdDev()-want) > 1e-9 {
+		t.Fatalf("stddev = %v, want %v", ta.StdDev(), want)
+	}
+}
+
+func TestTallyMeanBetweenMinMax(t *testing.T) {
+	f := func(vs []int32) bool {
+		var ta Tally
+		for _, v := range vs {
+			ta.Add(float64(v))
+		}
+		if ta.Count() == 0 {
+			return true
+		}
+		return ta.Mean() >= ta.Min()-1e-9 && ta.Mean() <= ta.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeWeightedMean(t *testing.T) {
+	e := New()
+	w := NewTimeWeighted(e)
+	// value 0 for 10ms, then 4 for 10ms -> mean 2.
+	e.After(10*Millisecond, func() { w.Set(4) })
+	e.Run()
+	e.RunUntil(20 * Millisecond)
+	if m := w.Mean(); math.Abs(m-2) > 1e-9 {
+		t.Fatalf("mean = %v, want 2", m)
+	}
+	if w.Max() != 4 {
+		t.Fatalf("max = %v", w.Max())
+	}
+	if w.Value() != 4 {
+		t.Fatalf("value = %v", w.Value())
+	}
+}
+
+func TestTimeWeightedAdjust(t *testing.T) {
+	e := New()
+	w := NewTimeWeighted(e)
+	w.Adjust(3)
+	w.Adjust(-1)
+	if w.Value() != 2 {
+		t.Fatalf("value = %v", w.Value())
+	}
+	e.RunUntil(10 * Millisecond)
+	if m := w.Mean(); math.Abs(m-2) > 1e-9 {
+		t.Fatalf("mean = %v, want 2", m)
+	}
+}
+
+func TestTimeWeightedNoElapsedTime(t *testing.T) {
+	e := New()
+	w := NewTimeWeighted(e)
+	w.Set(5)
+	if w.Mean() != 0 {
+		t.Fatalf("mean with no elapsed time = %v", w.Mean())
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Intn(1000) != b.Intn(1000) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGUniformIntBounds(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := g.UniformInt(1, 250)
+		if v < 1 || v > 250 {
+			t.Fatalf("UniformInt out of range: %d", v)
+		}
+	}
+}
+
+func TestRNGSampleDistinct(t *testing.T) {
+	g := NewRNG(7)
+	s := g.SampleDistinct(50, 100)
+	if len(s) != 50 {
+		t.Fatalf("len = %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 100 {
+			t.Fatalf("out of range: %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate: %d", v)
+		}
+		seen[v] = true
+	}
+	// Full sample must be a permutation.
+	p := g.SampleDistinct(10, 10)
+	seen = map[int]bool{}
+	for _, v := range p {
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("full sample not a permutation: %v", p)
+	}
+}
+
+func TestRNGSampleDistinctPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k > n did not panic")
+		}
+	}()
+	NewRNG(1).SampleDistinct(5, 3)
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	g := NewRNG(9)
+	f1 := g.Fork()
+	f2 := g.Fork()
+	same := true
+	for i := 0; i < 20; i++ {
+		if f1.Intn(1<<30) != f2.Intn(1<<30) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("forked streams identical")
+	}
+}

@@ -1,0 +1,470 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/pagestore"
+)
+
+// Config parameterizes the WAL manager.
+type Config struct {
+	// Streams is the number of parallel log streams (the paper's log
+	// processors). Default 1.
+	Streams int
+	// Selection assigns records to streams.
+	Selection Selection
+	// PoolPages is the buffer pool capacity in pages. Default 64.
+	PoolPages int
+	// Seed feeds the Random selection policy.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Streams == 0 {
+		c.Streams = 1
+	}
+	if c.PoolPages == 0 {
+		c.PoolPages = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+type bufPage struct {
+	data  []byte
+	lsn   uint64
+	dirty bool
+}
+
+type txnState struct {
+	firstLSN uint64
+	lastLSN  uint64
+	updates  []Record
+}
+
+// Manager is the WAL recovery engine: steal/no-force buffer management over
+// a data page store, with parallel log streams on a log store. All methods
+// are safe for concurrent use.
+type Manager struct {
+	mu      sync.Mutex
+	cfg     Config
+	data    *pagestore.Store
+	logs    *pagestore.Store
+	streams []*stream
+	sel     *selector
+	nextLSN uint64
+
+	pool map[pagestore.PageID]*bufPage
+	lru  []pagestore.PageID
+
+	att map[uint64]*txnState
+
+	steals     int64
+	redone     int64
+	undone     int64
+	recoveries int64
+
+	// archiveLSN pins log truncation while an archive snapshot is live:
+	// records above it must survive for media recovery.
+	archiveLSN uint64
+}
+
+// NewManager builds a WAL manager over dataStore; the log lives in its own
+// store (exposed by LogStore for fault injection).
+func NewManager(dataStore *pagestore.Store, cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:     cfg,
+		data:    dataStore,
+		logs:    pagestore.New(logChunkSize),
+		sel:     newSelector(cfg.Selection, cfg.Streams, cfg.Seed),
+		nextLSN: 1,
+		pool:    make(map[pagestore.PageID]*bufPage),
+		att:     make(map[uint64]*txnState),
+	}
+	for i := 0; i < cfg.Streams; i++ {
+		m.streams = append(m.streams, &stream{idx: i, store: m.logs})
+	}
+	return m
+}
+
+// Name identifies the engine.
+func (m *Manager) Name() string {
+	return fmt.Sprintf("wal(%d streams,%s)", m.cfg.Streams, m.cfg.Selection)
+}
+
+// LogStore exposes the log's stable storage for fault injection in tests.
+func (m *Manager) LogStore() *pagestore.Store { return m.logs }
+
+// Load populates page p with initial data, bypassing logging. Call before
+// running transactions.
+func (m *Manager) Load(p pagestore.PageID, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.data.Write(p, data, 0)
+}
+
+// Begin starts transaction tid.
+func (m *Manager) Begin(tid uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.att[tid]; ok {
+		return fmt.Errorf("wal: transaction %d already active", tid)
+	}
+	ts := &txnState{}
+	m.att[tid] = ts
+	ts.firstLSN = m.appendRec(Record{Type: RecBegin, Txn: tid})
+	return nil
+}
+
+// Read returns the current contents of page p as seen by tid (its own
+// uncommitted writes included).
+func (m *Manager) Read(tid uint64, p pagestore.PageID) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bp, err := m.getPage(p)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), bp.data...), nil
+}
+
+// Write replaces page p with data on behalf of tid, logging a full
+// before/after image first (the write-ahead protocol: the record is
+// buffered now and forced before the page can reach stable storage).
+func (m *Manager) Write(tid uint64, p pagestore.PageID, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.att[tid]
+	if ts == nil {
+		return fmt.Errorf("wal: transaction %d not active", tid)
+	}
+	bp, err := m.getPage(p)
+	if err != nil {
+		return err
+	}
+	rec := Record{
+		Type:    RecUpdate,
+		Txn:     tid,
+		Page:    int64(p),
+		PrevLSN: ts.lastLSN,
+		Before:  append([]byte(nil), bp.data...),
+		After:   append([]byte(nil), data...),
+	}
+	lsn := m.appendRec(rec)
+	rec.LSN = lsn
+	ts.lastLSN = lsn
+	ts.updates = append(ts.updates, rec)
+	bp.data = append([]byte(nil), data...)
+	bp.lsn = lsn
+	bp.dirty = true
+	return nil
+}
+
+// Commit makes tid durable: its commit record is appended and every stream
+// is forced. An error means the commit is in doubt (power failed mid-force);
+// recovery decides the outcome.
+func (m *Manager) Commit(tid uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.att[tid]
+	if ts == nil {
+		return fmt.Errorf("wal: transaction %d not active", tid)
+	}
+	m.appendRec(Record{Type: RecCommit, Txn: tid, PrevLSN: ts.lastLSN})
+	if err := m.forceAll(); err != nil {
+		return fmt.Errorf("wal: commit %d in doubt: %w", tid, err)
+	}
+	delete(m.att, tid)
+	return nil
+}
+
+// Abort rolls back tid by applying its before-images in reverse order. Each
+// restoration is itself logged as a compensation record, so recovery never
+// undoes work that was already rolled back — even if a later transaction
+// committed changes to the same pages.
+func (m *Manager) Abort(tid uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.att[tid]
+	if ts == nil {
+		return fmt.Errorf("wal: transaction %d not active", tid)
+	}
+	for i := len(ts.updates) - 1; i >= 0; i-- {
+		rec := ts.updates[i]
+		bp, err := m.getPage(pagestore.PageID(rec.Page))
+		if err != nil {
+			return err
+		}
+		clr := Record{
+			Type:    RecUpdate,
+			Txn:     tid,
+			Page:    rec.Page,
+			PrevLSN: ts.lastLSN,
+			CompLSN: rec.LSN,
+			After:   append([]byte(nil), rec.Before...),
+		}
+		lsn := m.appendRec(clr)
+		ts.lastLSN = lsn
+		bp.data = append([]byte(nil), rec.Before...)
+		bp.lsn = lsn
+		bp.dirty = true
+	}
+	m.appendRec(Record{Type: RecAbort, Txn: tid, PrevLSN: ts.lastLSN})
+	delete(m.att, tid)
+	return nil
+}
+
+// appendRec assigns the next LSN and buffers the record on its stream.
+func (m *Manager) appendRec(rec Record) uint64 {
+	rec.LSN = m.nextLSN
+	m.nextLSN++
+	s := m.streams[m.sel.pick(rec.Txn, rec.Page)]
+	s.append(rec)
+	return rec.LSN
+}
+
+func (m *Manager) forceAll() error {
+	for _, s := range m.streams {
+		if err := s.force(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// getPage returns the pooled page, fetching (and possibly evicting) as
+// needed. Pages never stored read as empty.
+func (m *Manager) getPage(p pagestore.PageID) (*bufPage, error) {
+	if bp, ok := m.pool[p]; ok {
+		m.touch(p)
+		return bp, nil
+	}
+	data, version, err := m.data.Read(p)
+	if err == pagestore.ErrNotFound {
+		data, version = nil, 0
+	} else if err != nil {
+		return nil, err
+	}
+	if err := m.evictIfFull(); err != nil {
+		return nil, err
+	}
+	bp := &bufPage{data: data, lsn: version}
+	m.pool[p] = bp
+	m.lru = append(m.lru, p)
+	return bp, nil
+}
+
+func (m *Manager) touch(p pagestore.PageID) {
+	for i, q := range m.lru {
+		if q == p {
+			m.lru = append(append(m.lru[:i:i], m.lru[i+1:]...), p)
+			return
+		}
+	}
+}
+
+// evictIfFull applies LRU replacement. A dirty victim triggers the
+// write-ahead rule: the log is forced before the page is stolen to disk.
+func (m *Manager) evictIfFull() error {
+	for len(m.pool) >= m.cfg.PoolPages {
+		victim := m.lru[0]
+		bp := m.pool[victim]
+		if bp.dirty {
+			if err := m.forceAll(); err != nil {
+				return err
+			}
+			if err := m.data.Write(victim, bp.data, bp.lsn); err != nil {
+				return err
+			}
+			m.steals++
+		}
+		m.lru = m.lru[1:]
+		delete(m.pool, victim)
+	}
+	return nil
+}
+
+// Checkpoint takes a fuzzy checkpoint: the log is forced, every dirty page
+// is flushed, a checkpoint record is logged, and each stream truncates the
+// stable chunks no future recovery can need — everything below the oldest
+// active transaction's first record (or below the checkpoint itself when
+// the engine is quiescent). Transactions keep running throughout.
+func (m *Manager) Checkpoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.forceAll(); err != nil {
+		return err
+	}
+	for p, bp := range m.pool {
+		if !bp.dirty {
+			continue
+		}
+		if err := m.data.Write(p, bp.data, bp.lsn); err != nil {
+			return err
+		}
+		bp.dirty = false
+	}
+	point := m.appendRec(Record{Type: RecCheckpoint})
+	if err := m.forceAll(); err != nil {
+		return err
+	}
+	for _, ts := range m.att {
+		if ts.firstLSN < point {
+			point = ts.firstLSN
+		}
+	}
+	if m.archiveLSN > 0 && m.archiveLSN+1 < point {
+		point = m.archiveLSN + 1 // retain the suffix media recovery needs
+	}
+	for _, s := range m.streams {
+		if err := s.truncate(point); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Crash simulates power loss: the buffer pool, active-transaction table and
+// unforced log tails vanish. Stable storage is untouched.
+func (m *Manager) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pool = make(map[pagestore.PageID]*bufPage)
+	m.lru = nil
+	m.att = make(map[uint64]*txnState)
+	for _, s := range m.streams {
+		s.crash()
+	}
+}
+
+// Recover restores a consistent committed state after Crash: power is
+// restored to both stores, the parallel streams are merged by LSN, committed
+// updates are redone and loser updates undone.
+func (m *Manager) Recover() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.data.Reset()
+	m.logs.Reset()
+	m.recoveries++
+
+	var all []Record
+	for _, s := range m.streams {
+		recs, err := s.readStable()
+		if err != nil {
+			return err
+		}
+		all = append(all, recs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].LSN < all[j].LSN })
+
+	// Analysis: which transactions committed, and which loser updates were
+	// already compensated by a durable CLR?
+	committed := map[uint64]bool{}
+	compensated := map[uint64]bool{} // update LSNs with a durable CLR
+	maxLSN := uint64(0)
+	for _, r := range all {
+		if r.LSN > maxLSN {
+			maxLSN = r.LSN
+		}
+		switch {
+		case r.Type == RecCommit:
+			committed[r.Txn] = true
+		case r.Type == RecUpdate && r.IsCLR():
+			compensated[r.CompLSN] = true
+		}
+	}
+
+	// Redo: repeat history — every durable update and CLR, winners and
+	// losers alike, in LSN order.
+	for _, r := range all {
+		if r.Type != RecUpdate {
+			continue
+		}
+		if err := m.redoOne(r); err != nil {
+			return err
+		}
+	}
+	// Undo: uncompensated updates of non-committed transactions, in reverse
+	// LSN order. Compensated updates were rolled back by their own CLRs
+	// during redo; undoing them again would clobber later committed work.
+	for i := len(all) - 1; i >= 0; i-- {
+		r := all[i]
+		if r.Type != RecUpdate || committed[r.Txn] || r.IsCLR() || compensated[r.LSN] {
+			continue
+		}
+		if err := m.undoOne(r); err != nil {
+			return err
+		}
+	}
+	m.nextLSN = maxLSN + 1
+	m.pool = make(map[pagestore.PageID]*bufPage)
+	m.lru = nil
+	m.att = make(map[uint64]*txnState)
+	return nil
+}
+
+func (m *Manager) redoOne(r Record) error {
+	_, version, err := m.data.Read(pagestore.PageID(r.Page))
+	if err == pagestore.ErrNotFound {
+		version = 0
+	} else if err != nil {
+		return err
+	}
+	if version >= r.LSN {
+		return nil // already applied
+	}
+	m.redone++
+	return m.data.Write(pagestore.PageID(r.Page), r.After, r.LSN)
+}
+
+func (m *Manager) undoOne(r Record) error {
+	_, version, err := m.data.Read(pagestore.PageID(r.Page))
+	if err == pagestore.ErrNotFound {
+		return nil // never reached disk; nothing to undo
+	}
+	if err != nil {
+		return err
+	}
+	if version < r.LSN {
+		return nil // this update never reached disk
+	}
+	m.undone++
+	return m.data.Write(pagestore.PageID(r.Page), r.Before, r.LSN-1)
+}
+
+// ReadCommitted reads page p's current contents; meaningful once no
+// transaction is active (for example right after Recover).
+func (m *Manager) ReadCommitted(p pagestore.PageID) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bp, err := m.getPage(p)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), bp.data...), nil
+}
+
+// Stats reports counters: steals (dirty evictions), redo and undo actions,
+// and per-stream record counts.
+func (m *Manager) Stats() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[string]int64{
+		"steals":     m.steals,
+		"redone":     m.redone,
+		"undone":     m.undone,
+		"recoveries": m.recoveries,
+	}
+	for _, s := range m.streams {
+		out[fmt.Sprintf("stream%d.records", s.idx)] = s.records
+		out[fmt.Sprintf("stream%d.forces", s.idx)] = s.forces
+		out[fmt.Sprintf("stream%d.truncated", s.idx)] = s.truncated
+		out["truncatedChunks"] += s.truncated
+	}
+	return out
+}

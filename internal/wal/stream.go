@@ -1,0 +1,219 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/pagestore"
+)
+
+func putUint64(b []byte, v uint64) { binary.BigEndian.PutUint64(b, v) }
+func getUint64(b []byte) uint64    { return binary.BigEndian.Uint64(b) }
+
+// Selection is a log-stream selection algorithm, mirroring the paper's
+// log-processor selection algorithms of Table 3.
+type Selection int
+
+const (
+	// Cyclic rotates through the streams per writer.
+	Cyclic Selection = iota
+	// Random selects a uniform random stream.
+	Random
+	// PageMod selects stream = page number mod streams.
+	PageMod
+	// TxnMod selects stream = transaction number mod streams.
+	TxnMod
+)
+
+// String implements fmt.Stringer.
+func (s Selection) String() string {
+	switch s {
+	case Cyclic:
+		return "cyclic"
+	case Random:
+		return "random"
+	case PageMod:
+		return "page-mod"
+	case TxnMod:
+		return "txn-mod"
+	}
+	return fmt.Sprintf("selection(%d)", int(s))
+}
+
+// logChunkSize is the stable-write granularity of a log stream. Records
+// never split across chunks.
+const logChunkSize = 1 << 16
+
+// stream is one parallel log stream persisting to its own region of the log
+// store.
+type stream struct {
+	idx        int
+	store      *pagestore.Store
+	firstChunk int64    // oldest stable chunk not yet truncated
+	nextChunk  int64    // next stable chunk sequence number
+	chunkMax   []uint64 // max LSN per stable chunk (parallel to firstChunk..)
+	volatile   []Record // appended but not yet forced
+	forces     int64
+	records    int64
+	truncated  int64
+}
+
+// metaID is the stream's metadata page recording the truncation point.
+func metaID(streamIdx int) pagestore.PageID {
+	return pagestore.PageID(int64(streamIdx)<<40 | 1<<39)
+}
+
+// chunkID maps (stream, seq) to a log-store page id.
+func chunkID(streamIdx int, seq int64) pagestore.PageID {
+	return pagestore.PageID(int64(streamIdx)<<40 | seq)
+}
+
+// append buffers a record in the stream's volatile tail.
+func (s *stream) append(r Record) {
+	s.volatile = append(s.volatile, r)
+	s.records++
+}
+
+// force persists the whole volatile tail. Records are packed into chunks of
+// at most logChunkSize bytes, whole records only, so a crash mid-force
+// leaves a clean prefix of the log.
+func (s *stream) force() error {
+	if len(s.volatile) == 0 {
+		return nil
+	}
+	i := 0
+	for i < len(s.volatile) {
+		var buf []byte
+		max := uint64(0)
+		j := i
+		for j < len(s.volatile) {
+			sz := s.volatile[j].marshaledSize()
+			if len(buf) > 0 && len(buf)+sz > logChunkSize {
+				break
+			}
+			buf = s.volatile[j].Marshal(buf)
+			if s.volatile[j].LSN > max {
+				max = s.volatile[j].LSN
+			}
+			j++
+		}
+		if err := s.store.Write(chunkID(s.idx, s.nextChunk), buf, 0); err != nil {
+			// Chunks already written stay durable; keep the rest volatile.
+			s.volatile = append([]Record(nil), s.volatile[i:]...)
+			return err
+		}
+		s.nextChunk++
+		s.chunkMax = append(s.chunkMax, max)
+		i = j
+	}
+	s.volatile = s.volatile[:0]
+	s.forces++
+	return nil
+}
+
+// truncate deletes leading stable chunks whose every record has LSN below
+// point (such records can never be needed again: their pages are flushed
+// and their transactions finished). The truncation point is persisted so a
+// post-crash scan knows where the log starts.
+func (s *stream) truncate(point uint64) error {
+	first := s.firstChunk
+	for first < s.nextChunk && s.chunkMax[first-s.firstChunk] < point {
+		first++
+	}
+	if first == s.firstChunk {
+		return nil
+	}
+	var buf [8]byte
+	putUint64(buf[:], uint64(first))
+	if err := s.store.Write(metaID(s.idx), buf[:], 0); err != nil {
+		return err
+	}
+	for seq := s.firstChunk; seq < first; seq++ {
+		if err := s.store.Delete(chunkID(s.idx, seq)); err != nil {
+			return err
+		}
+		s.truncated++
+	}
+	s.chunkMax = append([]uint64(nil), s.chunkMax[first-s.firstChunk:]...)
+	s.firstChunk = first
+	return nil
+}
+
+// crash drops the volatile tail (power loss).
+func (s *stream) crash() {
+	s.volatile = nil
+}
+
+// readStable decodes every record that reached stable storage, in append
+// order, rebuilding the stream cursors (including the truncation point) for
+// further appends.
+func (s *stream) readStable() ([]Record, error) {
+	s.firstChunk = 0
+	if meta, _, err := s.store.Read(metaID(s.idx)); err == nil && len(meta) >= 8 {
+		s.firstChunk = int64(getUint64(meta))
+	} else if err != nil && !errors.Is(err, pagestore.ErrNotFound) {
+		return nil, err
+	}
+	var out []Record
+	s.chunkMax = nil
+	s.nextChunk = s.firstChunk
+	for {
+		data, _, err := s.store.Read(chunkID(s.idx, s.nextChunk))
+		if errors.Is(err, pagestore.ErrNotFound) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		max := uint64(0)
+		for len(data) > 0 {
+			r, n, err := UnmarshalRecord(data)
+			if err != nil {
+				return nil, fmt.Errorf("wal: stream %d chunk %d: %w", s.idx, s.nextChunk, err)
+			}
+			if r.LSN > max {
+				max = r.LSN
+			}
+			out = append(out, r)
+			data = data[n:]
+		}
+		s.chunkMax = append(s.chunkMax, max)
+		s.nextChunk++
+	}
+}
+
+// selector assigns records to streams.
+type selector struct {
+	policy Selection
+	n      int
+	cursor uint64
+	rng    *rand.Rand
+}
+
+func newSelector(policy Selection, n int, seed int64) *selector {
+	return &selector{policy: policy, n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+// pick chooses a stream for a record of txn touching page.
+func (sel *selector) pick(txn uint64, page int64) int {
+	if sel.n == 1 {
+		return 0
+	}
+	switch sel.policy {
+	case Cyclic:
+		return int(atomic.AddUint64(&sel.cursor, 1) % uint64(sel.n))
+	case Random:
+		return sel.rng.Intn(sel.n)
+	case PageMod:
+		if page < 0 {
+			page = -page
+		}
+		return int(page % int64(sel.n))
+	case TxnMod:
+		return int(txn % uint64(sel.n))
+	}
+	return 0
+}

@@ -1,0 +1,148 @@
+// Package workload generates the transaction loads used throughout the
+// paper's evaluation: each transaction accesses a uniform-random number of
+// pages in [MinPages, MaxPages] (1..250 in the paper), with either a random
+// or a sequential reference string, and updates a random subset (20 % in the
+// paper) of the pages it reads.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// PageID identifies a logical database page.
+type PageID int
+
+// Txn is one generated transaction: the pages it reads, in reference order,
+// and the subset it updates.
+type Txn struct {
+	ID     int
+	Reads  []PageID        // reference string
+	Writes map[PageID]bool // write set: random 20 % subset of Reads
+}
+
+// NumReads reports the number of pages the transaction reads.
+func (t *Txn) NumReads() int { return len(t.Reads) }
+
+// NumWrites reports the number of pages the transaction updates.
+func (t *Txn) NumWrites() int { return len(t.Writes) }
+
+// Config describes a transaction load.
+type Config struct {
+	MinPages   int     // smallest transaction, in pages (paper: 1)
+	MaxPages   int     // largest transaction, in pages (paper: 250)
+	WriteFrac  float64 // fraction of read pages that are updated (paper: 0.20)
+	Sequential bool    // sequential (vs random) reference strings
+	DBPages    int     // logical database size in pages
+	// Skew, when > 1.0, draws random reference strings from a Zipf
+	// distribution with parameter Skew instead of uniformly — an extension
+	// beyond the paper for studying hot-spot contention. 0 means uniform.
+	Skew float64
+}
+
+// DefaultConfig reproduces the paper's transaction model over a database of
+// dbPages logical pages.
+func DefaultConfig(dbPages int) Config {
+	return Config{MinPages: 1, MaxPages: 250, WriteFrac: 0.20, DBPages: dbPages}
+}
+
+// Validate reports an error for inconsistent configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.MinPages < 1 || c.MaxPages < c.MinPages:
+		return fmt.Errorf("workload: bad page range [%d,%d]", c.MinPages, c.MaxPages)
+	case c.WriteFrac < 0 || c.WriteFrac > 1:
+		return fmt.Errorf("workload: bad write fraction %v", c.WriteFrac)
+	case c.DBPages < c.MaxPages:
+		return fmt.Errorf("workload: database (%d pages) smaller than largest transaction (%d)",
+			c.DBPages, c.MaxPages)
+	case c.Skew != 0 && c.Skew <= 1:
+		return fmt.Errorf("workload: Zipf skew must be > 1.0, got %v", c.Skew)
+	case c.Skew != 0 && c.Sequential:
+		return fmt.Errorf("workload: skew applies only to random reference strings")
+	}
+	return nil
+}
+
+// Generate produces n transactions drawn from c using rng. The result is
+// deterministic for a given seed.
+func Generate(n int, c Config, rng *sim.RNG) ([]*Txn, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	txns := make([]*Txn, n)
+	for i := range txns {
+		txns[i] = generateOne(i, c, rng)
+	}
+	return txns, nil
+}
+
+func generateOne(id int, c Config, rng *sim.RNG) *Txn {
+	npages := rng.UniformInt(c.MinPages, c.MaxPages)
+	t := &Txn{ID: id, Writes: make(map[PageID]bool)}
+	switch {
+	case c.Sequential:
+		start := rng.Intn(c.DBPages - npages + 1)
+		t.Reads = make([]PageID, npages)
+		for j := range t.Reads {
+			t.Reads[j] = PageID(start + j)
+		}
+	case c.Skew > 1:
+		// Zipf-skewed distinct sample by rejection.
+		seen := make(map[PageID]bool, npages)
+		for len(t.Reads) < npages {
+			p := PageID(rng.Zipf(c.Skew, c.DBPages))
+			if !seen[p] {
+				seen[p] = true
+				t.Reads = append(t.Reads, p)
+			}
+		}
+	default:
+		sample := rng.SampleDistinct(npages, c.DBPages)
+		t.Reads = make([]PageID, npages)
+		for j, p := range sample {
+			t.Reads[j] = PageID(p)
+		}
+	}
+	// Write set: a random WriteFrac subset of the read set. Rounded to the
+	// nearest page so a 1-page transaction updates a page 20 % of the time.
+	nwrites := int(float64(npages)*c.WriteFrac + 0.5)
+	if nwrites == 0 && c.WriteFrac > 0 && rng.Bool(float64(npages)*c.WriteFrac) {
+		nwrites = 1
+	}
+	for _, idx := range rng.SampleDistinct(nwrites, npages) {
+		t.Writes[t.Reads[idx]] = true
+	}
+	return t
+}
+
+// TotalReads sums the read set sizes of txns.
+func TotalReads(txns []*Txn) int {
+	total := 0
+	for _, t := range txns {
+		total += t.NumReads()
+	}
+	return total
+}
+
+// TotalWrites sums the write set sizes of txns.
+func TotalWrites(txns []*Txn) int {
+	total := 0
+	for _, t := range txns {
+		total += t.NumWrites()
+	}
+	return total
+}
+
+// SortedWrites returns the transaction's write set in ascending page order;
+// useful for deterministic iteration.
+func (t *Txn) SortedWrites() []PageID {
+	out := make([]PageID, 0, len(t.Writes))
+	for p := range t.Writes {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestGenerateRandom(t *testing.T) {
+	cfg := DefaultConfig(24000)
+	txns, err := Generate(200, cfg, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txns) != 200 {
+		t.Fatalf("len = %d", len(txns))
+	}
+	for _, tx := range txns {
+		n := tx.NumReads()
+		if n < 1 || n > 250 {
+			t.Fatalf("txn %d reads %d pages", tx.ID, n)
+		}
+		seen := map[PageID]bool{}
+		for _, p := range tx.Reads {
+			if p < 0 || int(p) >= cfg.DBPages {
+				t.Fatalf("page %d out of range", p)
+			}
+			if seen[p] {
+				t.Fatalf("txn %d reads page %d twice", tx.ID, p)
+			}
+			seen[p] = true
+		}
+		for p := range tx.Writes {
+			if !seen[p] {
+				t.Fatalf("txn %d writes page %d it never read", tx.ID, p)
+			}
+		}
+	}
+}
+
+func TestGenerateSequential(t *testing.T) {
+	cfg := DefaultConfig(24000)
+	cfg.Sequential = true
+	txns, err := Generate(100, cfg, sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range txns {
+		for j := 1; j < len(tx.Reads); j++ {
+			if tx.Reads[j] != tx.Reads[j-1]+1 {
+				t.Fatalf("txn %d not sequential at %d", tx.ID, j)
+			}
+		}
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	cfg := DefaultConfig(24000)
+	txns, err := Generate(500, cfg, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, writes := TotalReads(txns), TotalWrites(txns)
+	frac := float64(writes) / float64(reads)
+	if frac < 0.17 || frac > 0.23 {
+		t.Fatalf("write fraction = %v, want ~0.20", frac)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(24000)
+	a, _ := Generate(50, cfg, sim.NewRNG(7))
+	b, _ := Generate(50, cfg, sim.NewRNG(7))
+	for i := range a {
+		if len(a[i].Reads) != len(b[i].Reads) {
+			t.Fatal("nondeterministic read sets")
+		}
+		for j := range a[i].Reads {
+			if a[i].Reads[j] != b[i].Reads[j] {
+				t.Fatal("nondeterministic reference strings")
+			}
+		}
+		if len(a[i].Writes) != len(b[i].Writes) {
+			t.Fatal("nondeterministic write sets")
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{MinPages: 0, MaxPages: 10, DBPages: 100},
+		{MinPages: 10, MaxPages: 5, DBPages: 100},
+		{MinPages: 1, MaxPages: 10, WriteFrac: -0.1, DBPages: 100},
+		{MinPages: 1, MaxPages: 10, WriteFrac: 1.5, DBPages: 100},
+		{MinPages: 1, MaxPages: 250, WriteFrac: 0.2, DBPages: 100},
+		{MinPages: 1, MaxPages: 10, WriteFrac: 0.2, DBPages: 1000, Skew: 0.5},
+		{MinPages: 1, MaxPages: 10, WriteFrac: 0.2, DBPages: 1000, Skew: 1.5, Sequential: true},
+	}
+	for i, c := range cases {
+		if _, err := Generate(1, c, sim.NewRNG(1)); err == nil {
+			t.Errorf("case %d: bad config accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestSkewedGeneration(t *testing.T) {
+	cfg := DefaultConfig(10000)
+	cfg.Skew = 2.0
+	txns, err := Generate(100, cfg, sim.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zipf concentrates accesses on low page numbers: the majority of all
+	// reads should land in the first 1% of the database.
+	low, total := 0, 0
+	for _, tx := range txns {
+		seen := map[PageID]bool{}
+		for _, p := range tx.Reads {
+			if seen[p] {
+				t.Fatalf("txn %d reads page %d twice", tx.ID, p)
+			}
+			seen[p] = true
+			total++
+			if int(p) < cfg.DBPages/100 {
+				low++
+			}
+		}
+	}
+	if frac := float64(low) / float64(total); frac < 0.5 {
+		t.Fatalf("only %.0f%% of skewed accesses hit the hot 1%%", frac*100)
+	}
+}
+
+func TestSortedWrites(t *testing.T) {
+	tx := &Txn{Writes: map[PageID]bool{5: true, 1: true, 9: true}}
+	w := tx.SortedWrites()
+	if len(w) != 3 || w[0] != 1 || w[1] != 5 || w[2] != 9 {
+		t.Fatalf("sorted writes = %v", w)
+	}
+}
+
+func TestWriteSubsetProperty(t *testing.T) {
+	// Property: every write is in the read set; write count <= read count.
+	f := func(seed int64, seq bool) bool {
+		cfg := DefaultConfig(10000)
+		cfg.Sequential = seq
+		txns, err := Generate(20, cfg, sim.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		for _, tx := range txns {
+			if tx.NumWrites() > tx.NumReads() {
+				return false
+			}
+			in := map[PageID]bool{}
+			for _, p := range tx.Reads {
+				in[p] = true
+			}
+			for p := range tx.Writes {
+				if !in[p] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

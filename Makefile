@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench tables examples fuzz clean
+.PHONY: all build vet test race bench tables examples fuzz ci clean
 
 all: build vet test
+
+# What .github/workflows/ci.yml runs.
+ci: build vet test
+	$(GO) test -race ./internal/...
 
 build:
 	$(GO) build ./...

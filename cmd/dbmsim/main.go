@@ -26,6 +26,8 @@ func main() {
 	format := flag.String("format", "text", `output format: "text" or "md"`)
 	profile := flag.String("profile", "", `instead of a table, profile one run: machine config ("conv-random", "par-random", "conv-seq", "par-seq")`)
 	recovery := flag.String("recovery", "bare", "recovery architecture for -profile")
+	trace := flag.String("trace", "", "with -profile: write a Chrome trace-event JSON file (open in Perfetto)")
+	metrics := flag.Bool("metrics", false, "with -profile: print a JSON metrics snapshot of the run")
 	list := flag.Bool("list", false, "list the available experiments and exit")
 	flag.Parse()
 
@@ -36,8 +38,12 @@ func main() {
 		return
 	}
 
+	if *profile == "" && (*trace != "" || *metrics) {
+		fmt.Fprintln(os.Stderr, "dbmsim: -trace and -metrics require -profile")
+		os.Exit(2)
+	}
 	if *profile != "" {
-		if err := runProfile(*profile, *recovery, *txns, *seed); err != nil {
+		if err := runProfile(*profile, *recovery, *txns, *seed, *trace, *metrics); err != nil {
 			fmt.Fprintf(os.Stderr, "dbmsim: %v\n", err)
 			os.Exit(1)
 		}

@@ -2,9 +2,11 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"strings"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/recovery/difffile"
 	"repro/internal/recovery/logging"
 	"repro/internal/recovery/shadow"
@@ -12,8 +14,10 @@ import (
 )
 
 // runProfile executes a single simulation with utilization sampling and
-// prints the timeline as sparklines.
-func runProfile(configName, recoveryName string, txns int, seed int64) error {
+// prints the timeline as sparklines. tracePath, when non-empty, writes the
+// run's Chrome trace-event JSON there; metrics prints a JSON metrics
+// snapshot to stdout.
+func runProfile(configName, recoveryName string, txns int, seed int64, tracePath string, metrics bool) error {
 	cfg := machine.DefaultConfig()
 	switch strings.ToLower(configName) {
 	case "conv-random", "":
@@ -54,12 +58,46 @@ func runProfile(configName, recoveryName string, txns int, seed int64) error {
 		cfg.Seed = seed
 	}
 	cfg.ProfileEvery = sim.Ms(25)
-	res, err := machine.Run(cfg, model)
+	m, err := machine.New(cfg, model)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s on %s: exec/page %.1f ms, completion %.1f ms\n",
-		res.Name, configName, res.ExecPerPageMs, res.MeanCompletionMs)
+	var tb *obs.TraceBuffer
+	if tracePath != "" {
+		tb = obs.NewTrace()
+		m.SetTracer(tb)
+	}
+	res, err := m.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s: exec/page %.1f ms, completion %.1f ms (p50 %.1f, p95 %.1f, p99 %.1f)\n",
+		res.Name, configName, res.ExecPerPageMs, res.MeanCompletionMs,
+		res.CompletionP50Ms, res.CompletionP95Ms, res.CompletionP99Ms)
+	fmt.Printf("waits/txn: lock %.1f ms, qp %.1f ms, disk %.1f ms, recovery %.1f ms, commit %.1f ms\n",
+		res.Waits.LockMs, res.Waits.QPMs, res.Waits.DiskMs,
+		res.Waits.RecoveryMs, res.Waits.CommitMs)
 	fmt.Print(res.Profile.Render(72))
+	if tb != nil {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if _, err := tb.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events written to %s (open at ui.perfetto.dev)\n", tb.Len(), tracePath)
+	}
+	if metrics {
+		b, err := m.Metrics().Snapshot().JSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(append(b, '\n'))
+	}
 	return nil
 }

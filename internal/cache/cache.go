@@ -6,11 +6,18 @@
 // The cache also accounts for the paper's key logging statistic: the number
 // of updated pages sitting in the cache waiting for their log records to
 // reach stable storage ("blocked" frames).
+//
+// For observability the cache additionally keeps a residency tracker: an
+// LRU set of as many physical page numbers as there are frames, advanced
+// by NoteAccess on every data-disk read. It yields hit/miss/eviction
+// counters and a hit ratio without changing any timing — the simulated
+// machine of the paper always fetches from disk.
 package cache
 
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -25,6 +32,16 @@ type Cache struct {
 	usedTW    *sim.TimeWeighted
 	blockedTW *sim.TimeWeighted
 	blocked   int
+
+	// Residency tracker (observability only; never affects timing).
+	resident  map[int]bool
+	lru       []int // front is the eviction victim
+	hits      int64
+	misses    int64
+	evictions int64
+
+	allocWaits int64
+	sink       *obs.Sink
 }
 
 // New returns a cache with the given number of page frames.
@@ -38,7 +55,22 @@ func New(eng *sim.Engine, frames int) *Cache {
 		free:      frames,
 		usedTW:    sim.NewTimeWeighted(eng),
 		blockedTW: sim.NewTimeWeighted(eng),
+		resident:  make(map[int]bool, frames),
 	}
+}
+
+// Instrument wires the cache into the observability sink: its used and
+// blocked trackers become registry gauges and its counters become stats.
+func (c *Cache) Instrument(sink *obs.Sink) {
+	c.sink = sink
+	reg := sink.Reg
+	reg.RegisterGauge("cache.used", c.usedTW)
+	reg.RegisterGauge("cache.blocked", c.blockedTW)
+	reg.Func("cache.hits", func() float64 { return float64(c.hits) })
+	reg.Func("cache.misses", func() float64 { return float64(c.misses) })
+	reg.Func("cache.evictions", func() float64 { return float64(c.evictions) })
+	reg.Func("cache.allocWaits", func() float64 { return float64(c.allocWaits) })
+	reg.Func("cache.hitRatio", c.HitRatio)
 }
 
 // Frames reports the total frame count.
@@ -60,6 +92,7 @@ func (c *Cache) TryAlloc() bool {
 	}
 	c.free--
 	c.usedTW.Set(float64(c.Used()))
+	c.traceUsage()
 	return true
 }
 
@@ -70,6 +103,7 @@ func (c *Cache) Alloc(grant func()) {
 		grant()
 		return
 	}
+	c.allocWaits++
 	c.waiters = append(c.waiters, grant)
 }
 
@@ -88,6 +122,7 @@ func (c *Cache) Release() {
 	}
 	c.free++
 	c.usedTW.Set(float64(c.Used()))
+	c.traceUsage()
 }
 
 // AdjustBlocked records a change in the number of updated pages blocked in
@@ -98,6 +133,65 @@ func (c *Cache) AdjustBlocked(delta int) {
 		panic("cache: negative blocked count")
 	}
 	c.blockedTW.Set(float64(c.blocked))
+	if c.sink != nil && c.sink.Tracing() {
+		c.sink.Tracer().Counter("cache", "blocked", c.eng.Now(), float64(c.blocked))
+	}
+}
+
+// traceUsage emits a counter sample of frame usage when tracing is on.
+func (c *Cache) traceUsage() {
+	if c.sink != nil && c.sink.Tracing() {
+		c.sink.Tracer().Counter("cache", "used", c.eng.Now(), float64(c.Used()))
+	}
+}
+
+// NoteAccess advances the residency tracker with a read of physical page
+// p and reports whether it was a (hypothetical) hit. The tracker is purely
+// observational: the machine still performs the disk read either way.
+func (c *Cache) NoteAccess(p int) bool {
+	if c.resident[p] {
+		c.hits++
+		// Move p to the most-recently-used end.
+		for i, v := range c.lru {
+			if v == p {
+				copy(c.lru[i:], c.lru[i+1:])
+				c.lru[len(c.lru)-1] = p
+				break
+			}
+		}
+		return true
+	}
+	c.misses++
+	if len(c.lru) >= c.frames {
+		victim := c.lru[0]
+		c.lru = c.lru[1:]
+		delete(c.resident, victim)
+		c.evictions++
+	}
+	c.lru = append(c.lru, p)
+	c.resident[p] = true
+	return false
+}
+
+// Hits reports residency-tracker hits.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses reports residency-tracker misses.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Evictions reports residency-tracker evictions.
+func (c *Cache) Evictions() int64 { return c.evictions }
+
+// AllocWaits reports how many frame allocations had to wait.
+func (c *Cache) AllocWaits() int64 { return c.allocWaits }
+
+// HitRatio reports hits / (hits + misses), or 0 before any access.
+func (c *Cache) HitRatio() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
 }
 
 // Blocked reports the current number of blocked updated pages.

@@ -3,6 +3,7 @@ package disk
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -65,6 +66,11 @@ type Device interface {
 	Accesses() int64
 	// PagesMoved reports the number of pages transferred.
 	PagesMoved() int64
+	// Instrument wires the device into the observability sink: its busy and
+	// queue trackers become registry gauges, per-device read/write/page
+	// counts become stats, and — when tracing is enabled — every access
+	// emits seek/rotate/transfer phase spans on the device's track.
+	Instrument(sink *obs.Sink)
 }
 
 // base holds state common to both device models.
@@ -81,6 +87,11 @@ type base struct {
 	queueTW    *sim.TimeWeighted
 	accesses   int64
 	pagesMoved int64
+	reads      int64
+	writes     int64
+
+	sink   *obs.Sink
+	hSvcMs *obs.Histogram
 }
 
 func newBase(eng *sim.Engine, name string, geom Geometry, params Params) base {
@@ -107,6 +118,64 @@ func (b *base) PagesMoved() int64    { return b.pagesMoved }
 
 // MeanQueue reports the time-weighted mean queue length.
 func (b *base) MeanQueue() float64 { return b.queueTW.Mean() }
+
+// Reads reports the number of read accesses performed.
+func (b *base) Reads() int64 { return b.reads }
+
+// Writes reports the number of write accesses performed.
+func (b *base) Writes() int64 { return b.writes }
+
+// Instrument implements Device.
+func (b *base) Instrument(sink *obs.Sink) {
+	b.sink = sink
+	reg := sink.Reg
+	pre := "disk." + b.name
+	reg.RegisterGauge(pre+".busy", b.busyTW)
+	reg.RegisterGauge(pre+".queue", b.queueTW)
+	b.hSvcMs = reg.Histogram(pre + ".service.ms")
+	reg.Func(pre+".utilization", b.Utilization)
+	reg.Func(pre+".accesses", func() float64 { return float64(b.accesses) })
+	reg.Func(pre+".pages", func() float64 { return float64(b.pagesMoved) })
+	reg.Func(pre+".reads", func() float64 { return float64(b.reads) })
+	reg.Func(pre+".writes", func() float64 { return float64(b.writes) })
+}
+
+// noteAccess does the per-access metrics bookkeeping shared by both device
+// models and, when tracing is on, emits the access's seek / rotate /
+// transfer phases as spans on the device's track. The phases start at the
+// current virtual time (an access is timed from dispatch).
+func (b *base) noteAccess(write bool, pages int, seek, rot, xfer sim.Time) {
+	b.accesses++
+	b.pagesMoved += int64(pages)
+	if write {
+		b.writes++
+	} else {
+		b.reads++
+	}
+	if b.sink == nil {
+		return
+	}
+	b.hSvcMs.Observe((seek + rot + xfer).ToMs())
+	if !b.sink.Tracing() {
+		return
+	}
+	tr := b.sink.Tracer()
+	start := b.eng.Now()
+	op := "read"
+	if write {
+		op = "write"
+	}
+	tr.Span(b.name, op, start, start+seek+rot+xfer, map[string]any{"pages": pages})
+	if seek > 0 {
+		tr.Span(b.name+"/phase", "seek", start, start+seek, nil)
+	}
+	if rot > 0 {
+		tr.Span(b.name+"/phase", "rotate", start+seek, start+seek+rot, nil)
+	}
+	if xfer > 0 {
+		tr.Span(b.name+"/phase", "transfer", start+seek+rot, start+seek+rot+xfer, nil)
+	}
+}
 
 func (b *base) checkRequest(req *Request) {
 	if len(req.Pages) == 0 {
@@ -151,11 +220,11 @@ func (d *Conventional) dispatch() {
 	req := d.queue[0]
 	d.queue = d.queue[1:]
 	d.queueTW.Set(float64(len(d.queue)))
-	svc := d.serviceTime(req)
+	seek, rot, xfer := d.servicePhases(req)
+	svc := seek + rot + xfer
 	d.busy = true
 	d.busyTW.Set(1)
-	d.accesses++
-	d.pagesMoved += int64(len(req.Pages))
+	d.noteAccess(req.Write, len(req.Pages), seek, rot, xfer)
 	last := req.Pages[len(req.Pages)-1]
 	d.headCyl = d.geom.CylinderOf(last)
 	d.lastEnd = last + 1
@@ -171,28 +240,30 @@ func (d *Conventional) dispatch() {
 	})
 }
 
-// serviceTime computes seek + latency + transfer for one access. Multi-page
-// requests are charged one latency, per-page transfer, and a minimum seek for
-// every cylinder boundary crossed. An immediately-sequential access (the
-// next page after the previous request, same cylinder) pays a rotational
-// miss: ~3/4 of a revolution instead of the 1/2 average.
-func (d *Conventional) serviceTime(req *Request) sim.Time {
+// servicePhases computes the seek, rotational-latency, and transfer
+// components of one access (service time is their sum). Multi-page
+// requests are charged one latency, per-page transfer, and a minimum seek
+// for every cylinder boundary crossed (folded into the transfer phase, as
+// the arm moves mid-transfer). An immediately-sequential access (the next
+// page after the previous request, same cylinder) pays a rotational miss:
+// ~3/4 of a revolution instead of the 1/2 average.
+func (d *Conventional) servicePhases(req *Request) (seek, rot, xfer sim.Time) {
 	first := d.geom.CylinderOf(req.Pages[0])
-	latency := d.params.Rotation / 2
+	rot = d.params.Rotation / 2
 	if first == d.headCyl && req.Pages[0] == d.lastEnd {
-		latency = 3 * d.params.Rotation / 4
+		rot = 3 * d.params.Rotation / 4
 	}
-	svc := d.params.SeekTime(first-d.headCyl) + latency
+	seek = d.params.SeekTime(first - d.headCyl)
 	cur := first
 	for _, p := range req.Pages {
 		c := d.geom.CylinderOf(p)
 		if c != cur {
-			svc += d.params.MinSeek
+			xfer += d.params.MinSeek
 			cur = c
 		}
-		svc += d.params.PageTransfer
+		xfer += d.params.PageTransfer
 	}
-	return svc
+	return seek, rot, xfer
 }
 
 // Parallel is a SURE/DBC-style parallel-access disk: all pages on the
@@ -256,16 +327,17 @@ func (d *Parallel) dispatch() {
 			maxTrack = n
 		}
 	}
-	svc := d.params.SeekTime(cyl-d.headCyl) + d.params.Rotation/2 +
-		sim.Time(maxTrack)*d.params.PageTransfer
-	if cap := d.params.Rotation + d.params.SeekTime(cyl-d.headCyl) + d.params.Rotation/2; svc > cap {
+	seek := d.params.SeekTime(cyl - d.headCyl)
+	rot := d.params.Rotation / 2
+	xfer := sim.Time(maxTrack) * d.params.PageTransfer
+	if xfer > d.params.Rotation {
 		// One revolution moves the whole cylinder; transfers cannot exceed it.
-		svc = cap
+		xfer = d.params.Rotation
 	}
+	svc := seek + rot + xfer
 	d.busy = true
 	d.busyTW.Set(1)
-	d.accesses++
-	d.pagesMoved += int64(npages)
+	d.noteAccess(head.Write, npages, seek, rot, xfer)
 	d.headCyl = cyl
 	d.eng.After(svc, func() {
 		d.busy = false

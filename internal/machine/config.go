@@ -124,10 +124,19 @@ type Result struct {
 	ExecPerPageMs    float64
 	MeanCompletionMs float64
 
+	// Completion-time percentiles from the metrics histogram (ms).
+	CompletionP50Ms float64
+	CompletionP95Ms float64
+	CompletionP99Ms float64
+
+	// Waits is the mean per-committed-transaction wait-time breakdown.
+	Waits WaitBreakdown
+
 	QPUtil           float64
 	DataDiskUtil     float64 // mean across data disks
 	DataDiskUtils    []float64
 	DataDiskAccesses int64
+	CacheHitRatio    float64 // residency-tracker hit ratio on data reads
 	MeanBlocked      float64 // updated pages waiting for log records
 	MaxBlocked       float64
 	MeanCacheUsed    float64
@@ -139,6 +148,18 @@ type Result struct {
 	// Profile is the sampled utilization timeline (nil unless
 	// Config.ProfileEvery was set).
 	Profile *Profile
+}
+
+// WaitBreakdown is the mean per-transaction wait-time decomposition, in
+// milliseconds of virtual time. Waits on concurrent requests overlap, so
+// the components may sum to more than the mean completion time; each
+// answers "how long did this kind of request take in aggregate".
+type WaitBreakdown struct {
+	LockMs     float64 // admission until the static lock set was granted
+	QPMs       float64 // query-processor queueing across all plan entries
+	DiskMs     float64 // data-disk queue + service across reads and writes
+	RecoveryMs float64 // address resolution + blocked waiting for recovery data
+	CommitMs   float64 // reads done until the commit/abort hook finished
 }
 
 // String renders the headline metrics.

@@ -1,0 +1,128 @@
+package machine_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/recovery/logging"
+	"repro/internal/sim"
+)
+
+// oneRun executes a small logging-machine run with tracing enabled and
+// returns the metrics snapshot JSON, the trace file bytes, and the result.
+func oneRun(t *testing.T) ([]byte, []byte, *machine.Result) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = 8
+	cfg.Workload.MaxPages = 40
+	cfg.ProfileEvery = sim.Ms(25)
+	m, err := machine.New(cfg, logging.New(logging.Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := obs.NewTrace()
+	m.SetTracer(tb)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Metrics().Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	if _, err := tb.WriteTo(&trace); err != nil {
+		t.Fatal(err)
+	}
+	return snap, trace.Bytes(), res
+}
+
+// TestSameSeedByteIdentical asserts the observability layer's central
+// guarantee: two runs with the same seed produce byte-identical metrics
+// snapshots and trace files.
+func TestSameSeedByteIdentical(t *testing.T) {
+	snap1, trace1, res1 := oneRun(t)
+	snap2, trace2, res2 := oneRun(t)
+	if !bytes.Equal(snap1, snap2) {
+		t.Errorf("metrics snapshots differ across same-seed runs:\n%s\n---\n%s", snap1, snap2)
+	}
+	if !bytes.Equal(trace1, trace2) {
+		t.Errorf("trace files differ across same-seed runs (%d vs %d bytes)", len(trace1), len(trace2))
+	}
+	if res1.MeanCompletionMs != res2.MeanCompletionMs {
+		t.Errorf("completion means differ: %v vs %v", res1.MeanCompletionMs, res2.MeanCompletionMs)
+	}
+	if !json.Valid(trace1) {
+		t.Error("trace output is not valid JSON")
+	}
+	if !json.Valid(snap1) {
+		t.Error("metrics snapshot is not valid JSON")
+	}
+}
+
+// TestResultObservability sanity-checks the Result fields the metrics layer
+// fills in: percentile ordering, wait breakdown, cache hit ratio.
+func TestResultObservability(t *testing.T) {
+	_, _, res := oneRun(t)
+	if res.Committed == 0 {
+		t.Fatal("no committed transactions")
+	}
+	p50, p95, p99 := res.CompletionP50Ms, res.CompletionP95Ms, res.CompletionP99Ms
+	if p50 <= 0 || !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("percentiles not positive/monotone: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	if res.CacheHitRatio < 0 || res.CacheHitRatio > 1 {
+		t.Errorf("cache hit ratio = %v, want in [0,1]", res.CacheHitRatio)
+	}
+	w := res.Waits
+	for name, v := range map[string]float64{
+		"lock": w.LockMs, "qp": w.QPMs, "disk": w.DiskMs,
+		"recovery": w.RecoveryMs, "commit": w.CommitMs,
+	} {
+		if v < 0 {
+			t.Errorf("%s wait = %v, want >= 0", name, v)
+		}
+	}
+	// An I/O-bound run must report disk wait; a logging run must report
+	// commit wait (the log force).
+	if w.DiskMs == 0 {
+		t.Error("disk wait is zero on an I/O-bound run")
+	}
+	if w.CommitMs == 0 {
+		t.Error("commit wait is zero under logging recovery")
+	}
+}
+
+// TestMetricsSnapshotContents spot-checks that the registry exposes the
+// expected instrument families after a run.
+func TestMetricsSnapshotContents(t *testing.T) {
+	snap, _, _ := oneRun(t)
+	var s obs.Snapshot
+	if err := json.Unmarshal(snap, &s); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []string{"cache.used", "cache.blocked", "disk.data0.busy", "resource.query-processors.busy"} {
+		if _, ok := s.Gauges[g]; !ok {
+			t.Errorf("snapshot missing gauge %q", g)
+		}
+	}
+	for _, h := range []string{"txn.completion.ms", "txn.wait.lock.ms", "txn.wait.disk.ms", "disk.data0.service.ms"} {
+		if _, ok := s.Histograms[h]; !ok {
+			t.Errorf("snapshot missing histogram %q", h)
+		}
+	}
+	for _, st := range []string{"cache.hitRatio", "disk.data0.utilization", "resource.query-processors.utilization", "txn.committed", "log.frags"} {
+		if _, ok := s.Stats[st]; !ok {
+			t.Errorf("snapshot missing stat %q", st)
+		}
+	}
+	if hc := s.Histograms["txn.completion.ms"]; hc.Count != 8 {
+		t.Errorf("completion histogram count = %d, want 8", hc.Count)
+	}
+	if s.Stats["txn.committed"] != 8 {
+		t.Errorf("txn.committed = %v, want 8", s.Stats["txn.committed"])
+	}
+}

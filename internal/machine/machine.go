@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/disk"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -36,6 +37,19 @@ type ActiveTxn struct {
 	// QP is the query-processor index that produced the most recent update;
 	// recovery models use it for log-processor selection.
 	QP int
+
+	// Wait-time breakdown, accumulated as the transaction moves through the
+	// pipeline (milliseconds of virtual time). Waits on concurrent requests
+	// overlap, so the components can sum to more than the completion time;
+	// they answer "where did this transaction's requests spend their time",
+	// not "what serialized it".
+	admitAt        sim.Time
+	commitStart    sim.Time
+	lockWaitMs     float64 // admission -> full lock set granted
+	qpWaitMs       float64 // query-processor queue time across plan entries
+	diskWaitMs     float64 // data-disk queue + service across reads/writes
+	recoveryWaitMs float64 // address resolution + blocked-for-recovery-data
+	commitWaitMs   float64 // reads done -> commit/abort hook finished
 }
 
 // ID reports the transaction's workload identifier.
@@ -67,6 +81,19 @@ type Machine struct {
 
 	admissionsHeld bool
 	quiesceWaiters []func()
+
+	sink        *obs.Sink
+	hCompletion *obs.Histogram
+	hLockWait   *obs.Histogram
+	hQPWait     *obs.Histogram
+	hDiskWait   *obs.Histogram
+	hRecovery   *obs.Histogram
+	hCommitWait *obs.Histogram
+	waitLock    sim.Tally // per-committed-txn wait sums, in ms
+	waitQP      sim.Tally
+	waitDisk    sim.Tally
+	waitRec     sim.Tally
+	waitCommit  sim.Tally
 }
 
 // New builds a machine for cfg with the given recovery model (nil selects
@@ -96,6 +123,7 @@ func New(cfg Config, model Model) (*Machine, error) {
 		qps:    sim.NewResource(eng, "query-processors", cfg.QueryProcessors),
 		locks:  newLockTable(),
 		window: cfg.prefetchWindow(),
+		sink:   obs.NewSink(eng),
 	}
 	geom := place.geometry(cfg.PagesPerTrack, cfg.TracksPerCyl)
 	for i := 0; i < cfg.DataDisks; i++ {
@@ -105,7 +133,9 @@ func New(cfg Config, model Model) (*Machine, error) {
 		} else {
 			m.disks = append(m.disks, disk.NewConventional(eng, name, geom, cfg.DiskParams))
 		}
+		m.disks[i].Instrument(m.sink)
 	}
+	m.instrument()
 	txns, err := workload.Generate(cfg.NumTxns, cfg.Workload, m.rng.Fork())
 	if err != nil {
 		return nil, err
@@ -114,6 +144,83 @@ func New(cfg Config, model Model) (*Machine, error) {
 	model.Attach(m)
 	return m, nil
 }
+
+// instrument registers the machine's own metrics with the observability
+// registry: the query-processor pool, the cache, lock-table counters, and
+// the per-transaction lifecycle histograms that back the Result
+// percentiles and wait breakdown.
+func (m *Machine) instrument() {
+	reg := m.sink.Reg
+	m.cache.Instrument(m.sink)
+	m.ObserveResource(m.qps)
+	reg.Func("lock.waits", func() float64 { return float64(m.locks.Waits()) })
+	reg.Func("engine.events", func() float64 { return float64(m.eng.Steps()) })
+	reg.Func("txn.committed", func() float64 { return float64(m.committed) })
+	reg.Func("txn.aborted", func() float64 { return float64(m.aborted) })
+	reg.Func("machine.pagesProcessed", func() float64 { return float64(m.pagesProcessed) })
+	m.hCompletion = reg.Histogram("txn.completion.ms")
+	m.hLockWait = reg.Histogram("txn.wait.lock.ms")
+	m.hQPWait = reg.Histogram("txn.wait.qp.ms")
+	m.hDiskWait = reg.Histogram("txn.wait.disk.ms")
+	m.hRecovery = reg.Histogram("txn.wait.recovery.ms")
+	m.hCommitWait = reg.Histogram("txn.wait.commit.ms")
+}
+
+// Obs returns the machine's observability sink; recovery models use it to
+// register their own metrics and emit trace events.
+func (m *Machine) Obs() *obs.Sink { return m.sink }
+
+// Metrics returns the machine's metrics registry.
+func (m *Machine) Metrics() *obs.Registry { return m.sink.Reg }
+
+// SetTracer attaches a tracer (such as an obs.TraceBuffer) so the run
+// emits spans; call it after New and before Run. nil disables tracing.
+func (m *Machine) SetTracer(tr obs.Tracer) { m.sink.SetTracer(tr) }
+
+// resourceObs feeds a resource's per-request timings into wait/service
+// histograms and, when tracing, per-server spans.
+type resourceObs struct {
+	m       *Machine
+	hWaitMs *obs.Histogram
+	hSvcMs  *obs.Histogram
+}
+
+// ResourceRequest implements sim.ResourceObserver.
+func (o *resourceObs) ResourceRequest(r *sim.Resource, server int, enq, started, ended sim.Time) {
+	o.hWaitMs.Observe((started - enq).ToMs())
+	o.hSvcMs.Observe((ended - started).ToMs())
+	if !o.m.sink.Tracing() {
+		return
+	}
+	tr := o.m.sink.Tracer()
+	track := fmt.Sprintf("%s/%d", r.Name(), server)
+	if started > enq {
+		tr.Span(track, "wait", enq, started, nil)
+	}
+	tr.Span(track, "service", started, ended, nil)
+}
+
+// ObserveResource wires a resource pool into the observability layer:
+// busy/queue gauges, utilization and served-count stats, and queue-wait
+// vs. service histograms (plus per-server trace spans when tracing).
+// The machine observes its own query-processor pool; recovery models call
+// this for the resources they create (interconnects, page-table CPUs).
+func (m *Machine) ObserveResource(r *sim.Resource) {
+	reg := m.sink.Reg
+	pre := "resource." + r.Name()
+	reg.RegisterGauge(pre+".busy", r.BusyTW())
+	reg.RegisterGauge(pre+".queue", r.QueueTW())
+	reg.Func(pre+".utilization", r.Utilization)
+	reg.Func(pre+".served", func() float64 { return float64(r.Served()) })
+	r.SetObserver(&resourceObs{
+		m:       m,
+		hWaitMs: reg.Histogram(pre + ".wait.ms"),
+		hSvcMs:  reg.Histogram(pre + ".service.ms"),
+	})
+}
+
+// txnTrack names the trace lane for one transaction.
+func txnTrack(t *ActiveTxn) string { return fmt.Sprintf("txn/%d", t.T.ID) }
 
 // Run executes the whole load and returns the collected statistics.
 func Run(cfg Config, model Model) (*Result, error) {
@@ -189,7 +296,9 @@ func (m *Machine) NewAuxDisk(name string, cylinders int) disk.Device {
 		TracksPerCyl:  m.cfg.TracksPerCyl,
 		Cylinders:     cylinders,
 	}
-	return disk.NewConventional(m.eng, name, geom, m.cfg.DiskParams)
+	d := disk.NewConventional(m.eng, name, geom, m.cfg.DiskParams)
+	d.Instrument(m.sink)
+	return d
 }
 
 // SubmitPhys issues a read or write of physical pages to the data disks.
@@ -203,6 +312,11 @@ func (m *Machine) SubmitPhys(pages []int, write bool, done func()) {
 			done()
 		}
 		return
+	}
+	if !write {
+		for _, p := range pages {
+			m.cache.NoteAccess(p)
+		}
 	}
 	type key struct{ disk, cyl int }
 	groups := make(map[key][]int)
@@ -268,8 +382,15 @@ func (m *Machine) admitNext() {
 		}
 	}
 	m.active = append(m.active, t)
+	t.admitAt = m.eng.Now()
 	m.locks.AcquireAll(t, func() {
 		t.locksGranted = true
+		w := m.eng.Now() - t.admitAt
+		t.lockWaitMs = w.ToMs()
+		m.hLockWait.Observe(t.lockWaitMs)
+		if w > 0 && m.sink.Tracing() {
+			m.sink.Tracer().Span(txnTrack(t), "lock-wait", t.admitAt, m.eng.Now(), nil)
+		}
 		m.schedule()
 	})
 }
@@ -313,13 +434,29 @@ func (m *Machine) issueNext(t *ActiveTxn) {
 	pr := &t.Plan[t.next]
 	t.next++
 	t.framesHeld++
+	resolveStart := m.eng.Now()
 	m.model.BeforeRead(t, pr, func() {
-		m.SubmitPhys(pr.PhysPages, false, func() { m.onReadDone(t, pr) })
+		// Time spent resolving the page address (page-table lookups) is part
+		// of the recovery-data wait.
+		t.recoveryWaitMs += (m.eng.Now() - resolveStart).ToMs()
+		readStart := m.eng.Now()
+		m.SubmitPhys(pr.PhysPages, false, func() {
+			t.diskWaitMs += (m.eng.Now() - readStart).ToMs()
+			if m.sink.Tracing() {
+				m.sink.Tracer().Span(txnTrack(t), "read", readStart, m.eng.Now(),
+					map[string]any{"page": int(pr.Page)})
+			}
+			m.onReadDone(t, pr)
+		})
 	})
 }
 
 func (m *Machine) onReadDone(t *ActiveTxn, pr *PlannedRead) {
-	m.qps.RequestServer(pr.CPU, func(server int) { m.onProcessed(t, pr, server) })
+	enq := m.eng.Now()
+	m.qps.RequestServer(pr.CPU, func(server int) {
+		t.qpWaitMs += (m.eng.Now() - enq - pr.CPU).ToMs()
+		m.onProcessed(t, pr, server)
+	})
 }
 
 func (m *Machine) onProcessed(t *ActiveTxn, pr *PlannedRead, server int) {
@@ -330,11 +467,18 @@ func (m *Machine) onProcessed(t *ActiveTxn, pr *PlannedRead, server int) {
 		m.cache.AdjustBlocked(1)
 		t.blockedPages++
 		released := false
+		blockStart := m.eng.Now()
 		m.model.UpdateReady(t, pr, func() {
 			if released {
 				panic("machine: UpdateReady release called twice")
 			}
 			released = true
+			blocked := m.eng.Now() - blockStart
+			t.recoveryWaitMs += blocked.ToMs()
+			if blocked > 0 && m.sink.Tracing() {
+				m.sink.Tracer().Span(txnTrack(t), "recovery-wait", blockStart, m.eng.Now(),
+					map[string]any{"page": int(pr.Page)})
+			}
 			m.cache.AdjustBlocked(-1)
 			t.blockedPages--
 			m.issueWrite(t, pr)
@@ -344,12 +488,21 @@ func (m *Machine) onProcessed(t *ActiveTxn, pr *PlannedRead, server int) {
 	}
 	if t.processed == len(t.Plan) && !t.readsDone {
 		t.readsDone = true
+		t.commitStart = m.eng.Now()
 		hook := m.model.BeforeCommit
 		if t.Aborted {
 			hook = m.model.OnAbort
 		}
 		hook(t, func() {
 			t.commitHookDone = true
+			t.commitWaitMs = (m.eng.Now() - t.commitStart).ToMs()
+			if m.sink.Tracing() {
+				name := "commit"
+				if t.Aborted {
+					name = "abort"
+				}
+				m.sink.Tracer().Span(txnTrack(t), name, t.commitStart, m.eng.Now(), nil)
+			}
 			m.maybeAfterCommit(t)
 		})
 	}
@@ -357,7 +510,13 @@ func (m *Machine) onProcessed(t *ActiveTxn, pr *PlannedRead, server int) {
 }
 
 func (m *Machine) issueWrite(t *ActiveTxn, pr *PlannedRead) {
+	writeStart := m.eng.Now()
 	m.SubmitPhys([]int{pr.WriteTo}, true, func() {
+		t.diskWaitMs += (m.eng.Now() - writeStart).ToMs()
+		if m.sink.Tracing() {
+			m.sink.Tracer().Span(txnTrack(t), "write", writeStart, m.eng.Now(),
+				map[string]any{"page": int(pr.Page)})
+		}
 		m.pagesProcessed++
 		t.lastWrite = m.eng.Now()
 		t.writesRemaining--
@@ -393,8 +552,33 @@ func (m *Machine) complete(t *ActiveTxn) {
 	if t.Aborted {
 		m.aborted++
 	} else {
-		m.completion.Add((m.eng.Now() - t.start).ToMs())
+		completionMs := (m.eng.Now() - t.start).ToMs()
+		m.completion.Add(completionMs)
 		m.committed++
+		m.hCompletion.Observe(completionMs)
+		m.hQPWait.Observe(t.qpWaitMs)
+		m.hDiskWait.Observe(t.diskWaitMs)
+		m.hRecovery.Observe(t.recoveryWaitMs)
+		m.hCommitWait.Observe(t.commitWaitMs)
+		m.waitLock.Add(t.lockWaitMs)
+		m.waitQP.Add(t.qpWaitMs)
+		m.waitDisk.Add(t.diskWaitMs)
+		m.waitRec.Add(t.recoveryWaitMs)
+		m.waitCommit.Add(t.commitWaitMs)
+	}
+	if m.sink.Tracing() {
+		name := "txn(committed)"
+		if t.Aborted {
+			name = "txn(aborted)"
+		}
+		m.sink.Tracer().Span(txnTrack(t), name, t.admitAt, m.eng.Now(), map[string]any{
+			"pages":          len(t.Plan),
+			"lockWaitMs":     t.lockWaitMs,
+			"qpWaitMs":       t.qpWaitMs,
+			"diskWaitMs":     t.diskWaitMs,
+			"recoveryWaitMs": t.recoveryWaitMs,
+			"commitWaitMs":   t.commitWaitMs,
+		})
 	}
 	for i, a := range m.active {
 		if a == t {
@@ -472,8 +656,22 @@ func (m *Machine) result() *Result {
 		r.DataDiskAccesses += d.Accesses()
 	}
 	r.DataDiskUtil = sum / float64(len(m.disks))
+	r.CacheHitRatio = m.cache.HitRatio()
+	r.CompletionP50Ms = m.hCompletion.Percentile(50)
+	r.CompletionP95Ms = m.hCompletion.Percentile(95)
+	r.CompletionP99Ms = m.hCompletion.Percentile(99)
+	r.Waits = WaitBreakdown{
+		LockMs:     m.waitLock.Mean(),
+		QPMs:       m.waitQP.Mean(),
+		DiskMs:     m.waitDisk.Mean(),
+		RecoveryMs: m.waitRec.Mean(),
+		CommitMs:   m.waitCommit.Mean(),
+	}
 	for k, v := range m.model.Stats() {
 		r.Extra[k] = v
+		// Mirror model statistics into the registry so a metrics snapshot is
+		// self-contained.
+		m.sink.Reg.PutStat("model."+k, v)
 	}
 	r.Profile = m.profile
 	return r

@@ -2,8 +2,10 @@ package machine
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -22,11 +24,35 @@ type Profile struct {
 
 // sampler drives periodic profile collection; it stops rescheduling once
 // the machine has committed its whole load so the event queue can drain.
+// Samples are read from the observability registry's gauges — the
+// profiler is a consumer of the metrics layer, not a second set of probes
+// into the components.
 func (m *Machine) startProfiler(every sim.Time) {
 	m.profile = &Profile{SampleEvery: every}
+	reg := m.sink.Reg
+	diskBusy := make([]*obs.Gauge, len(m.disks))
+	for i, d := range m.disks {
+		diskBusy[i] = reg.Gauge("disk." + d.Name() + ".busy")
+	}
+	qpBusy := reg.Gauge("resource." + m.qps.Name() + ".busy")
+	cacheUsed := reg.Gauge("cache.used")
+	blocked := reg.Gauge("cache.blocked")
+
+	sample := func() {
+		p := m.profile
+		busy := 0.0
+		for _, g := range diskBusy {
+			busy += g.Value()
+		}
+		p.TimesMs = append(p.TimesMs, m.eng.Now().ToMs())
+		p.DiskBusy = append(p.DiskBusy, busy/float64(len(m.disks)))
+		p.QPBusy = append(p.QPBusy, qpBusy.Value()/float64(m.qps.Capacity()))
+		p.CacheUsed = append(p.CacheUsed, cacheUsed.Value()/float64(m.cache.Frames()))
+		p.Blocked = append(p.Blocked, blocked.Value())
+	}
 	var tick func()
 	tick = func() {
-		m.sampleProfile()
+		sample()
 		if m.committed < m.cfg.NumTxns {
 			m.eng.After(every, tick)
 		}
@@ -34,29 +60,19 @@ func (m *Machine) startProfiler(every sim.Time) {
 	m.eng.After(every, tick)
 }
 
-func (m *Machine) sampleProfile() {
-	p := m.profile
-	busy := 0
-	for _, d := range m.disks {
-		if d.InFlight() {
-			busy++
-		}
-	}
-	p.TimesMs = append(p.TimesMs, m.eng.Now().ToMs())
-	p.DiskBusy = append(p.DiskBusy, float64(busy)/float64(len(m.disks)))
-	p.QPBusy = append(p.QPBusy, float64(m.qps.Busy())/float64(m.qps.Capacity()))
-	p.CacheUsed = append(p.CacheUsed, float64(m.cache.Used())/float64(m.cache.Frames()))
-	p.Blocked = append(p.Blocked, float64(m.cache.Blocked()))
-}
-
 // sparkRunes render a 0..1 series as an eight-level bar sparkline.
 var sparkRunes = []rune("▁▂▃▄▅▆▇█")
 
 func spark(series []float64, scale float64) string {
+	if scale <= 0 {
+		// A zero or negative scale would divide to ±Inf/NaN and index
+		// nonsense runes; fall back to the unit scale.
+		scale = 1
+	}
 	var b strings.Builder
 	for _, v := range series {
 		x := v / scale
-		if x < 0 {
+		if x < 0 || math.IsNaN(x) {
 			x = 0
 		}
 		if x > 1 {
@@ -114,14 +130,6 @@ func (p *Profile) Render(width int) string {
 	return b.String()
 }
 
-// Mean reports the average of a sampled series.
-func Mean(series []float64) float64 {
-	if len(series) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, v := range series {
-		sum += v
-	}
-	return sum / float64(len(series))
-}
+// Mean reports the average of a sampled series. It is a thin alias for
+// sim.SeriesMean, kept for callers of the profile API.
+func Mean(series []float64) float64 { return sim.SeriesMean(series) }

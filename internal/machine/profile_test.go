@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -81,6 +82,32 @@ func TestCondense(t *testing.T) {
 	}
 }
 
+func TestCondenseEdgeCases(t *testing.T) {
+	if out := condense(nil, 4); len(out) != 0 {
+		t.Fatalf("condense(nil) = %v, want empty", out)
+	}
+	if out := condense([]float64{}, 0); len(out) != 0 {
+		t.Fatalf("condense(empty, 0) = %v, want empty", out)
+	}
+	if out := condense([]float64{1, 2}, 0); len(out) != 0 {
+		t.Fatalf("condense(2 into 0) = %v, want empty", out)
+	}
+	// Fewer samples than buckets: passthrough, not padding.
+	short := []float64{2, 4}
+	if out := condense(short, 5); len(out) != 2 || out[0] != 2 || out[1] != 4 {
+		t.Fatalf("condense(short, 5) = %v, want passthrough", out)
+	}
+	// Uneven split: 5 samples into 2 buckets -> [mean(1,2), mean(3,4,5)].
+	out := condense([]float64{1, 2, 3, 4, 5}, 2)
+	if len(out) != 2 || out[0] != 1.5 || out[1] != 4 {
+		t.Fatalf("condense(5 into 2) = %v, want [1.5 4]", out)
+	}
+	// n=1 averages everything.
+	if out := condense([]float64{1, 2, 3, 4, 5}, 1); len(out) != 1 || out[0] != 3 {
+		t.Fatalf("condense(5 into 1) = %v, want [3]", out)
+	}
+}
+
 func TestSparkClamps(t *testing.T) {
 	s := spark([]float64{-1, 0, 0.5, 1, 2}, 1)
 	if len([]rune(s)) != 5 {
@@ -89,5 +116,44 @@ func TestSparkClamps(t *testing.T) {
 	r := []rune(s)
 	if r[0] != sparkRunes[0] || r[4] != sparkRunes[len(sparkRunes)-1] {
 		t.Fatalf("clamping wrong: %q", s)
+	}
+}
+
+func TestSparkDegenerateScale(t *testing.T) {
+	// A zero or negative scale (e.g. an all-zero series normalized by its
+	// peak) must not divide to NaN/±Inf or index out of range.
+	for _, scale := range []float64{0, -3} {
+		s := spark([]float64{0, 0.5, 1, 100}, scale)
+		r := []rune(s)
+		if len(r) != 4 {
+			t.Fatalf("spark(scale=%v) length %d: %q", scale, len(r), s)
+		}
+		for i, c := range r {
+			valid := false
+			for _, k := range sparkRunes {
+				if c == k {
+					valid = true
+					break
+				}
+			}
+			if !valid {
+				t.Fatalf("spark(scale=%v)[%d] = %q, not a spark rune", scale, i, c)
+			}
+		}
+	}
+	// NaN samples render as the lowest bar instead of panicking.
+	s := spark([]float64{math.NaN(), 1}, 1)
+	if r := []rune(s); r[0] != sparkRunes[0] {
+		t.Fatalf("NaN sample rendered %q, want %q", r[0], sparkRunes[0])
+	}
+}
+
+func TestMeanMatchesSimSeriesMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != sim.SeriesMean(xs) || Mean(xs) != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", Mean(xs))
+	}
+	if Mean(nil) != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", Mean(nil))
 	}
 }

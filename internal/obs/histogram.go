@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Histogram bucket layout: fixed log-scaled buckets so that percentile
+// estimates are reproducible across runs (no reservoir sampling, no
+// randomness). Bucket i covers (lo·g^i, lo·g^(i+1)]; with lo = 1 µs
+// (0.001 ms), g = 2^(1/4) and 160 buckets the range spans 0.001 ms to
+// ~10^9 ms with a worst-case relative error of g-1 ≈ 19 % — and exact
+// min/max tracking clamps the estimate so degenerate distributions
+// (empty, single-valued) report exactly.
+const (
+	histLo      = 1e-3 // lower bound of bucket 0, in the caller's unit (ms)
+	histBuckets = 160
+)
+
+var histLogGrowth = math.Log(2) / 4 // ln g for g = 2^(1/4)
+
+// Histogram accumulates point samples into fixed log-scaled buckets and
+// reports deterministic quantile estimates. The zero value is NOT ready;
+// create one with NewHistogram (or Registry.Histogram).
+type Histogram struct {
+	buckets [histBuckets]int64
+	tally   sim.Tally
+}
+
+// NewHistogram returns an empty histogram with the default latency
+// bucketing (intended for millisecond values).
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a sample to its bucket index. The clamp happens in float
+// space: v/histLo can overflow to +Inf for huge samples, and converting
+// +Inf to int is platform-defined (negative on amd64), which would drop
+// such samples into bucket 0.
+func bucketOf(v float64) int {
+	if v <= histLo {
+		return 0
+	}
+	f := math.Floor((math.Log(v) - math.Log(histLo)) / histLogGrowth)
+	if !(f > 0) { // also catches NaN
+		return 0
+	}
+	if f >= histBuckets-1 {
+		return histBuckets - 1
+	}
+	return int(f)
+}
+
+// lowerBound reports the lower edge of bucket i.
+func lowerBound(i int) float64 {
+	return histLo * math.Exp(float64(i)*histLogGrowth)
+}
+
+// Observe records one sample. Non-positive samples land in the lowest
+// bucket (their exact values still shape Min/Mean).
+func (h *Histogram) Observe(v float64) {
+	h.buckets[bucketOf(v)]++
+	h.tally.Add(v)
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int64 { return h.tally.Count() }
+
+// Sum reports the sum of all samples.
+func (h *Histogram) Sum() float64 { return h.tally.Sum() }
+
+// Mean reports the exact sample mean (0 if empty).
+func (h *Histogram) Mean() float64 { return h.tally.Mean() }
+
+// Min reports the smallest sample (0 if empty).
+func (h *Histogram) Min() float64 { return h.tally.Min() }
+
+// Max reports the largest sample (0 if empty).
+func (h *Histogram) Max() float64 { return h.tally.Max() }
+
+// Percentile estimates the p-th percentile (p in [0,100]) by geometric
+// interpolation within the bucket where the cumulative count crosses the
+// rank, clamped to the observed [Min, Max]. An empty histogram reports 0.
+func (h *Histogram) Percentile(p float64) float64 {
+	n := h.tally.Count()
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.tally.Min()
+	}
+	if p >= 100 {
+		return h.tally.Max()
+	}
+	rank := p / 100 * float64(n)
+	var cum float64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			frac := (rank - cum) / float64(c)
+			v := lowerBound(i) * math.Exp(frac*histLogGrowth)
+			return clamp(v, h.tally.Min(), h.tally.Max())
+		}
+		cum = next
+	}
+	return h.tally.Max()
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", h.Count())
+	}
+	for _, p := range []float64{0, 50, 95, 99, 100} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("empty Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty Mean/Min/Max = %v/%v/%v, want 0", h.Mean(), h.Min(), h.Max())
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	// With one sample every percentile must be exactly that sample: the
+	// geometric interpolation is clamped to [Min, Max].
+	for _, v := range []float64{0.0005, 0.001, 1, 7.3, 5598.7, 2e6} {
+		h := NewHistogram()
+		h.Observe(v)
+		for _, p := range []float64{0, 1, 50, 95, 99, 100} {
+			if got := h.Percentile(p); got != v {
+				t.Errorf("Observe(%v): Percentile(%v) = %v, want %v", v, p, got, v)
+			}
+		}
+		if h.Count() != 1 || h.Mean() != v || h.Min() != v || h.Max() != v {
+			t.Errorf("Observe(%v): count/mean/min/max = %d/%v/%v/%v",
+				v, h.Count(), h.Mean(), h.Min(), h.Max())
+		}
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	// Values exactly on a bucket's lower edge belong to that bucket's
+	// predecessor range boundary; the mapping must stay in range and be
+	// monotone.
+	if got := bucketOf(0); got != 0 {
+		t.Errorf("bucketOf(0) = %d, want 0", got)
+	}
+	if got := bucketOf(-5); got != 0 {
+		t.Errorf("bucketOf(-5) = %d, want 0", got)
+	}
+	if got := bucketOf(histLo); got != 0 {
+		t.Errorf("bucketOf(histLo) = %d, want 0", got)
+	}
+	if got := bucketOf(math.MaxFloat64); got != histBuckets-1 {
+		t.Errorf("bucketOf(MaxFloat64) = %d, want %d", got, histBuckets-1)
+	}
+	prev := -1
+	for i := 0; i < histBuckets; i++ {
+		// A value just above each lower edge must land in bucket i.
+		v := lowerBound(i) * 1.0001
+		b := bucketOf(v)
+		if b != i {
+			t.Fatalf("bucketOf(lowerBound(%d)*1.0001) = %d, want %d", i, b, i)
+		}
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at bucket %d", i)
+		}
+		prev = b
+	}
+}
+
+func TestHistogramPercentileOrderAndClamp(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i)) // 1..1000 ms, uniform
+	}
+	p50 := h.Percentile(50)
+	p95 := h.Percentile(95)
+	p99 := h.Percentile(99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("percentiles not monotone: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	if p50 < h.Min() || p99 > h.Max() {
+		t.Fatalf("percentiles escape [Min,Max]: p50=%v p99=%v min=%v max=%v",
+			p50, p99, h.Min(), h.Max())
+	}
+	// Log-bucket estimates carry at most ~19 % relative error (growth 2^¼).
+	if math.Abs(p50-500)/500 > 0.20 {
+		t.Errorf("p50 = %v, want ~500 within 20%%", p50)
+	}
+	if math.Abs(p99-990)/990 > 0.20 {
+		t.Errorf("p99 = %v, want ~990 within 20%%", p99)
+	}
+	if h.Percentile(0) != h.Min() || h.Percentile(100) != h.Max() {
+		t.Errorf("Percentile(0)/Percentile(100) = %v/%v, want Min/Max %v/%v",
+			h.Percentile(0), h.Percentile(100), h.Min(), h.Max())
+	}
+}
+
+func TestHistogramDeterministic(t *testing.T) {
+	build := func() *Histogram {
+		h := NewHistogram()
+		v := 0.37
+		for i := 0; i < 500; i++ {
+			v = math.Mod(v*1.7+0.13, 1) // fixed pseudo-sequence, no RNG
+			h.Observe(v * 10000)
+		}
+		return h
+	}
+	a, b := build(), build()
+	for _, p := range []float64{10, 50, 90, 95, 99, 99.9} {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Fatalf("Percentile(%v) differs across identical builds: %v vs %v",
+				p, a.Percentile(p), b.Percentile(p))
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Tracer records spans, instants, and counter samples against virtual
+// time. Tracks are named lanes ("data0", "qp/3", "txn/17"); each becomes
+// one thread row when the trace is opened in Perfetto / chrome://tracing.
+//
+// The no-op implementation (Nop) keeps the hot path free: components
+// check Enabled() before building span arguments.
+type Tracer interface {
+	// Enabled reports whether events are being recorded.
+	Enabled() bool
+	// Span records a completed interval [start, end] on a track. args may
+	// be nil; map keys are emitted in sorted order, so args are
+	// deterministic.
+	Span(track, name string, start, end sim.Time, args map[string]any)
+	// Instant records a point event.
+	Instant(track, name string, at sim.Time)
+	// Counter records a sample of a numeric series.
+	Counter(track, name string, at sim.Time, value float64)
+}
+
+type nopTracer struct{}
+
+func (nopTracer) Enabled() bool                                           { return false }
+func (nopTracer) Span(string, string, sim.Time, sim.Time, map[string]any) {}
+func (nopTracer) Instant(string, string, sim.Time)                        {}
+func (nopTracer) Counter(string, string, sim.Time, float64)               {}
+
+var nop Tracer = nopTracer{}
+
+// Nop returns the shared no-op tracer.
+func Nop() Tracer { return nop }
+
+// traceEvent is one Chrome trace-event (the JSON Array Format understood
+// by chrome://tracing and Perfetto). Virtual time is microseconds, which
+// is exactly the format's ts/dur unit, so timestamps map one-to-one.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceBuffer is a Tracer that accumulates events in memory and writes
+// them as Chrome trace-event JSON. Events are stored in emission order
+// (simulation order), so the file is byte-identical across same-seed runs.
+type TraceBuffer struct {
+	events []traceEvent
+	tids   map[string]int
+}
+
+// NewTrace returns an empty, enabled trace buffer.
+func NewTrace() *TraceBuffer {
+	return &TraceBuffer{tids: make(map[string]int)}
+}
+
+// Enabled implements Tracer.
+func (t *TraceBuffer) Enabled() bool { return true }
+
+// tid maps a track name to a stable thread id, emitting a thread_name
+// metadata event on first use so the viewer labels the lane.
+func (t *TraceBuffer) tid(track string) int {
+	if id, ok := t.tids[track]; ok {
+		return id
+	}
+	id := len(t.tids) + 1
+	t.tids[track] = id
+	t.events = append(t.events, traceEvent{
+		Name: "thread_name",
+		Ph:   "M",
+		Pid:  1,
+		Tid:  id,
+		Args: map[string]any{"name": track},
+	})
+	return id
+}
+
+// Span implements Tracer with a complete ("X") event.
+func (t *TraceBuffer) Span(track, name string, start, end sim.Time, args map[string]any) {
+	if end < start {
+		end = start
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name,
+		Ph:   "X",
+		Ts:   int64(start),
+		Dur:  int64(end - start),
+		Pid:  1,
+		Tid:  t.tid(track),
+		Args: args,
+	})
+}
+
+// Instant implements Tracer with an instant ("i") event.
+func (t *TraceBuffer) Instant(track, name string, at sim.Time) {
+	t.events = append(t.events, traceEvent{
+		Name: name,
+		Ph:   "i",
+		Ts:   int64(at),
+		Pid:  1,
+		Tid:  t.tid(track),
+		Args: map[string]any{"s": "t"},
+	})
+}
+
+// Counter implements Tracer with a counter ("C") event.
+func (t *TraceBuffer) Counter(track, name string, at sim.Time, value float64) {
+	t.events = append(t.events, traceEvent{
+		Name: name,
+		Ph:   "C",
+		Ts:   int64(at),
+		Pid:  1,
+		Tid:  t.tid(track),
+		Args: map[string]any{"value": value},
+	})
+}
+
+// Len reports the number of recorded events (metadata included).
+func (t *TraceBuffer) Len() int { return len(t.events) }
+
+// WriteTo writes the trace in the Chrome trace-event JSON Object Format;
+// the output loads directly in Perfetto (ui.perfetto.dev) and
+// chrome://tracing. The byte stream is deterministic.
+func (t *TraceBuffer) WriteTo(w io.Writer) (int64, error) {
+	doc := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: t.events, DisplayTimeUnit: "ms"}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []traceEvent{}
+	}
+	b, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(b)
+	return int64(n), err
+}

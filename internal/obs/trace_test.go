@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNopTracer(t *testing.T) {
+	n := Nop()
+	if n.Enabled() {
+		t.Fatal("Nop().Enabled() = true, want false")
+	}
+	// All methods must be callable no-ops.
+	n.Span("a", "b", 0, 10, map[string]any{"k": 1})
+	n.Instant("a", "b", 5)
+	n.Counter("a", "b", 5, 1.5)
+}
+
+func TestTraceBufferWellFormed(t *testing.T) {
+	tb := NewTrace()
+	if !tb.Enabled() {
+		t.Fatal("TraceBuffer.Enabled() = false, want true")
+	}
+	tb.Span("disk0", "read", sim.Ms(1), sim.Ms(3), map[string]any{"pages": 2})
+	tb.Instant("log", "checkpoint", sim.Ms(2))
+	tb.Counter("cache", "used", sim.Ms(2), 40)
+	tb.Span("disk0", "read", sim.Ms(4), sim.Ms(5), nil)
+
+	var buf bytes.Buffer
+	if _, err := tb.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("trace output is not valid JSON")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != tb.Len() {
+		t.Fatalf("traceEvents has %d events, Len() reports %d", len(doc.TraceEvents), tb.Len())
+	}
+	var meta, spans, instants, counters int
+	for i, ev := range doc.TraceEvents {
+		for _, field := range []string{"ph", "ts", "name"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event %d missing required field %q: %v", i, field, ev)
+			}
+		}
+		switch ev["ph"] {
+		case "M":
+			meta++
+			if ev["name"] != "thread_name" {
+				t.Errorf("metadata event %d has name %v, want thread_name", i, ev["name"])
+			}
+		case "X":
+			spans++
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("span event %d missing dur", i)
+			}
+		case "i":
+			instants++
+		case "C":
+			counters++
+		default:
+			t.Errorf("event %d has unexpected phase %v", i, ev["ph"])
+		}
+	}
+	// Three distinct tracks -> three thread_name metadata events.
+	if meta != 3 || spans != 2 || instants != 1 || counters != 1 {
+		t.Fatalf("event mix M/X/i/C = %d/%d/%d/%d, want 3/2/1/1", meta, spans, instants, counters)
+	}
+}
+
+func TestTraceBufferSpanTimes(t *testing.T) {
+	tb := NewTrace()
+	tb.Span("x", "s", 100, 250, nil)
+	tb.Span("x", "neg", 300, 200, nil) // end < start clamps to zero duration
+	var buf bytes.Buffer
+	if _, err := tb.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// Event 0 is the track metadata; 1 and 2 are the spans.
+	if doc.TraceEvents[1].Ts != 100 || doc.TraceEvents[1].Dur != 150 {
+		t.Errorf("span ts/dur = %d/%d, want 100/150", doc.TraceEvents[1].Ts, doc.TraceEvents[1].Dur)
+	}
+	if doc.TraceEvents[2].Ts != 300 || doc.TraceEvents[2].Dur != 0 {
+		t.Errorf("clamped span ts/dur = %d/%d, want 300/0", doc.TraceEvents[2].Ts, doc.TraceEvents[2].Dur)
+	}
+}
+
+func TestTraceBufferEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewTrace().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("empty trace output is not valid JSON")
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"traceEvents": []`)) {
+		t.Fatalf("empty trace should serialize an empty array, got %s", buf.Bytes())
+	}
+}
+
+func TestTraceBufferStableTids(t *testing.T) {
+	tb := NewTrace()
+	tb.Instant("a", "x", 0)
+	tb.Instant("b", "x", 1)
+	tb.Instant("a", "y", 2)
+	var buf bytes.Buffer
+	if _, err := tb.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// Layout: M(a) i M(b) i i — both "a" instants must share a tid distinct
+	// from "b"'s.
+	tidA := doc.TraceEvents[1].Tid
+	tidB := doc.TraceEvents[3].Tid
+	if tidA == tidB {
+		t.Fatal("tracks a and b share a tid")
+	}
+	if doc.TraceEvents[4].Tid != tidA {
+		t.Fatalf("second event on track a has tid %d, want %d", doc.TraceEvents[4].Tid, tidA)
+	}
+}

@@ -123,6 +123,11 @@ func (d *Model) ExtraPhysPages(cfg machine.Config) int {
 // Attach implements machine.Model.
 func (d *Model) Attach(m *machine.Machine) {
 	d.Base.Attach(m)
+	reg := m.Obs().Reg
+	reg.Func("diff.aReads", func() float64 { return float64(d.aReads) })
+	reg.Func("diff.dReads", func() float64 { return float64(d.dReads) })
+	reg.Func("diff.appends", func() float64 { return float64(d.appends) })
+	reg.Func("diff.setDiffed", func() float64 { return float64(d.setDiffed) })
 	d.rng = m.RNG().Fork()
 	start := m.Place().ExtraRegionStart()
 	d.regionSize = (m.Place().PhysPages() - start) / 2
@@ -213,7 +218,13 @@ func (d *Model) BeforeCommit(t *machine.ActiveTxn, done func()) {
 		d.appendPos = (d.appendPos + 1) % d.regionSize
 	}
 	d.appends += int64(nOut)
+	o := d.M.Obs()
+	appendStart := d.M.Eng().Now()
 	d.M.SubmitPhys(pages, true, func() {
+		if o.Tracing() {
+			o.Tracer().Span("difffile", "append", appendStart, d.M.Eng().Now(),
+				map[string]any{"pages": nOut, "txn": t.ID()})
+		}
 		// Output pages are partial pages appended to A; they are extra I/O
 		// work, not processed data pages, so they do not enter the
 		// pages-processed denominator.

@@ -221,11 +221,18 @@ func (l *Model) Attach(m *machine.Machine) {
 	switch l.cfg.Routing {
 	case DedicatedNet:
 		l.net = sim.NewResource(m.Eng(), "log-net", 1)
+		m.ObserveResource(l.net)
 	case ViaCache:
 		// A handful of reserved frames carry in-transit fragments; the
 		// paper found the cache path is never the constraint.
 		l.route = sim.NewResource(m.Eng(), "log-route", 4)
+		m.ObserveResource(l.route)
 	}
+	reg := m.Obs().Reg
+	reg.Func("log.frags", func() float64 { return float64(l.fragsSent) })
+	reg.Func("log.forcedSeals", func() float64 { return float64(l.forcedSeals) })
+	reg.Func("log.fullSeals", func() float64 { return float64(l.fullSeals) })
+	reg.Func("log.checkpoints", func() float64 { return float64(l.checkpoints) })
 	if l.cfg.CheckpointEvery > 0 {
 		l.scheduleCheckpoint()
 	}
@@ -251,6 +258,13 @@ func (l *Model) scheduleCheckpoint() {
 // paper's reference [13]) overlaps with normal processing.
 func (l *Model) takeCheckpoint(done func()) {
 	l.checkpoints++
+	if o := l.M.Obs(); o.Tracing() {
+		kind := "parallel"
+		if l.cfg.QuiescingCheckpoint {
+			kind = "quiescing"
+		}
+		o.Tracer().Instant("log", "checkpoint("+kind+")", l.M.Eng().Now())
+	}
 	perform := func(after func()) {
 		l.forceFor(nil) // seal every partial log page
 		remaining := len(l.lps)
@@ -401,10 +415,19 @@ func (l *Model) seal(lp *logProcessor) {
 	pos := lp.nextPage
 	lp.nextPage = (lp.nextPage + 1) % lp.capacity
 	lp.writes++
+	o := l.M.Obs()
+	var start sim.Time
+	if o.Tracing() {
+		start = l.M.Eng().Now()
+	}
 	lp.disk.Submit(&disk.Request{
 		Pages: []int{pos},
 		Write: true,
 		Done: func() {
+			if o.Tracing() {
+				o.Tracer().Span(fmt.Sprintf("log/%d", lp.idx), "log-force",
+					start, l.M.Eng().Now(), map[string]any{"frags": len(page.frags)})
+			}
 			for _, f := range page.frags {
 				l.recordFlushed(f.t)
 				f.release()
@@ -446,6 +469,10 @@ func (l *Model) BeforeCommit(t *machine.ActiveTxn, done func()) {
 func (l *Model) OnAbort(t *machine.ActiveTxn, done func()) {
 	homes := l.updates[t]
 	delete(l.updates, t)
+	if o := l.M.Obs(); o.Tracing() {
+		o.Tracer().Instant("log", fmt.Sprintf("undo txn %d (%d pages)", t.ID(), len(homes)),
+			l.M.Eng().Now())
+	}
 	undo := func() {
 		if len(homes) == 0 {
 			done()

@@ -137,7 +137,13 @@ func (s *PageTableModel) Attach(m *machine.Machine) {
 			cpu:  sim.NewResource(m.Eng(), fmt.Sprintf("ptproc%d", i), 1),
 			disk: m.NewAuxDisk(fmt.Sprintf("ptdisk%d", i), s.cfg.PTDiskCylinders),
 		})
+		m.ObserveResource(s.procs[i].cpu)
 	}
+	reg := m.Obs().Reg
+	reg.Func("pt.hits", func() float64 { return float64(s.buf.hits) })
+	reg.Func("pt.misses", func() float64 { return float64(s.buf.misses) })
+	reg.Func("pt.evictions", func() float64 { return float64(s.buf.evicted) })
+	reg.Func("pt.rereads", func() float64 { return float64(s.rereads) })
 	if s.cfg.Scrambled {
 		rng := m.RNG().Fork()
 		s.perm = rng.Perm(m.Cfg().Workload.DBPages)
@@ -286,9 +292,15 @@ func (s *PageTableModel) BeforeCommit(t *machine.ActiveTxn, done func()) {
 		return
 	}
 	remaining := len(set)
+	o := s.M.Obs()
+	flushStart := s.M.Eng().Now()
 	finish := func() {
 		remaining--
 		if remaining == 0 {
+			if o.Tracing() {
+				o.Tracer().Span("pt", "commit-flush", flushStart, s.M.Eng().Now(),
+					map[string]any{"ptPages": len(set), "txn": t.ID()})
+			}
 			done()
 		}
 	}
@@ -310,6 +322,9 @@ func (s *PageTableModel) BeforeCommit(t *machine.ActiveTxn, done func()) {
 			}
 			// Evicted before commit: reread for updating, then write.
 			s.rereads++
+			if o.Tracing() {
+				o.Tracer().Instant("pt", fmt.Sprintf("commit-reread pt%d", ptp), s.M.Eng().Now())
+			}
 			s.readPTPage(proc, ptp, func() {
 				s.installPTPage(proc, ptp)
 				s.writePTPage(proc, ptp, finish)

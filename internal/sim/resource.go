@@ -1,5 +1,15 @@
 package sim
 
+// ResourceObserver receives the full queue-wait/service timing of every
+// completed request on a Resource. The observability layer uses it to feed
+// wait and service histograms and to emit per-server trace spans; the
+// resource itself pays only a nil check when no observer is set.
+type ResourceObserver interface {
+	// ResourceRequest is called when a request finishes service, with the
+	// virtual times it was enqueued, started service, and ended.
+	ResourceRequest(r *Resource, server int, enqueued, started, ended Time)
+}
+
 // Resource models a pool of identical FCFS servers (query processors,
 // page-table processors, an interconnect). Requests queue in arrival order;
 // each request holds one server for its service time and then runs its
@@ -16,11 +26,13 @@ type Resource struct {
 	served  int64
 	busyAcc Time  // total server-busy time (sum over servers)
 	freeIDs []int // stack of idle server indices
+	obs     ResourceObserver
 }
 
 type resourceReq struct {
 	service func() Time // evaluated when service begins
 	done    func(server int)
+	enq     Time // virtual time the request was enqueued
 }
 
 // NewResource returns a resource with the given server count.
@@ -57,6 +69,17 @@ func (r *Resource) QueueLen() int { return len(r.queue) }
 // Served reports the number of completed requests.
 func (r *Resource) Served() int64 { return r.served }
 
+// SetObserver installs the request observer (nil removes it).
+func (r *Resource) SetObserver(o ResourceObserver) { r.obs = o }
+
+// BusyTW exposes the busy-server tracker so a metrics registry can adopt
+// it as a gauge.
+func (r *Resource) BusyTW() *TimeWeighted { return r.busyTW }
+
+// QueueTW exposes the queue-length tracker so a metrics registry can adopt
+// it as a gauge.
+func (r *Resource) QueueTW() *TimeWeighted { return r.queueTW }
+
 // Request enqueues a job with a fixed service time; done runs at completion.
 func (r *Resource) Request(service Time, done func()) {
 	r.RequestFn(func() Time { return service }, done)
@@ -81,6 +104,7 @@ func (r *Resource) RequestServer(service Time, done func(server int)) {
 }
 
 func (r *Resource) enqueue(req resourceReq) {
+	req.enq = r.eng.Now()
 	if r.busy < r.capacity {
 		r.start(req)
 		return
@@ -94,6 +118,7 @@ func (r *Resource) start(req resourceReq) {
 	r.busyTW.Set(float64(r.busy))
 	server := r.freeIDs[len(r.freeIDs)-1]
 	r.freeIDs = r.freeIDs[:len(r.freeIDs)-1]
+	started := r.eng.Now()
 	svc := req.service()
 	if svc < 0 {
 		panic("sim: negative service time")
@@ -109,6 +134,9 @@ func (r *Resource) start(req resourceReq) {
 			r.queue = r.queue[1:]
 			r.queueTW.Set(float64(len(r.queue)))
 			r.start(next)
+		}
+		if r.obs != nil {
+			r.obs.ResourceRequest(r, server, req.enq, started, r.eng.Now())
 		}
 		if req.done != nil {
 			req.done(server)

@@ -58,6 +58,17 @@ func (t *Tally) StdDev() float64 {
 	return math.Sqrt(v)
 }
 
+// SeriesMean reports the arithmetic mean of a sampled series, or 0 if the
+// series is empty. It is the one shared implementation behind the various
+// per-package mean helpers.
+func SeriesMean(xs []float64) float64 {
+	var t Tally
+	for _, v := range xs {
+		t.Add(v)
+	}
+	return t.Mean()
+}
+
 // TimeWeighted tracks a piecewise-constant quantity (queue length, number of
 // busy servers, blocked frames) and integrates it over virtual time so that
 // time-weighted means can be reported.

@@ -2,13 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench tables examples fuzz ci clean
+.PHONY: all build vet lint test race bench tables examples fuzz ci clean
 
-all: build vet test
+all: build vet lint test
 
 # What .github/workflows/ci.yml runs.
-ci: build vet test
+ci: build vet lint test
 	$(GO) test -race ./internal/...
+
+# simlint: the repo's determinism & simulator-invariant analyzer
+# (stdlib-only, built from source; see docs/LINTING.md).
+lint:
+	$(GO) run ./cmd/simlint ./internal/... ./cmd/...
 
 build:
 	$(GO) build ./...

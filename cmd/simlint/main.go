@@ -1,0 +1,78 @@
+// Command simlint is the repository's determinism and simulator-invariant
+// analyzer (see internal/lint and docs/LINTING.md).
+//
+// Usage:
+//
+//	go run ./cmd/simlint [flags] [patterns...]
+//
+// Patterns are module-relative package patterns ("./internal/...",
+// "./cmd/simlint"); with no patterns it checks ./internal/... and
+// ./cmd/... . Exit status: 0 clean, 1 findings, 2 usage or load error.
+// Stale-suppression warnings are printed but only fail the run under
+// -strict.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated rule IDs to enable (default: all)")
+	strict := flag.Bool("strict", false, "treat warnings (stale suppressions) as failures")
+	list := flag.Bool("list", false, "print the rule table and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-rules D001,D003] [-strict] [patterns...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, r := range lint.Rules {
+			fmt.Printf("%s  %s  (scope: %s)\n", r.ID, r.Short, strings.Join(r.Scope, ", "))
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/...", "./cmd/..."}
+	}
+	var cfg lint.Config
+	if *rules != "" {
+		cfg.Rules = strings.Split(*rules, ",")
+	}
+
+	diags, err := lint.Run(root, patterns, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	failures := 0
+	for _, d := range diags {
+		fmt.Println(d)
+		if !d.Warning || *strict {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("simlint: %d finding(s)\n", failures)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simlint:", err)
+	os.Exit(2)
+}

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/pagestore"
@@ -339,7 +340,13 @@ func (e *Engine) Merge() error {
 	if len(e.att) > 0 {
 		return fmt.Errorf("diffeng: merge requires quiescence (%d active transactions)", len(e.att))
 	}
-	for p, v := range e.view {
+	pages := make([]int64, 0, len(e.view))
+	for p := range e.view {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, p := range pages {
+		v := e.view[p]
 		if v.deleted {
 			if err := e.store.Delete(pagestore.PageID(p)); err != nil {
 				return err

@@ -224,11 +224,11 @@ func FuncRecovery(opt Options) (*Table, error) {
 			}
 		}
 		e.Crash()
-		start := time.Now()
+		start := time.Now() //simlint:ignore D001 host wall-clock benchmark of the real recovery engines, not simulated time; the column is documented as host-dependent
 		if err := e.Recover(); err != nil {
 			return nil, err
 		}
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //simlint:ignore D001 host wall-clock benchmark of the real recovery engines, not simulated time; the column is documented as host-dependent
 		redo, undo := stats()
 		t.Rows = append(t.Rows, []string{
 			b.name,

@@ -1,0 +1,215 @@
+// Package lint implements simlint, the repository's determinism and
+// simulator-invariant static analyzer.
+//
+// The paper's tables are pure simulation results, so the repo's core
+// guarantee is reproducibility: same seed, byte-identical metrics
+// snapshots and traces. simlint makes that invariant machine-checked
+// instead of conventional. It loads every package under internal/ and
+// cmd/ with only the standard library (go/parser + go/types; no
+// golang.org/x/tools) and reports violations of five rules:
+//
+//	D001  no wall-clock time (time.Now, time.Since, time.Sleep, timers)
+//	      in simulation packages — virtual clock only.
+//	D002  no global math/rand top-level functions — all randomness must
+//	      flow through the seeded sim.RNG (constructors like rand.New
+//	      and rand.NewSource are allowed).
+//	D003  no range over a map whose loop body has order-sensitive
+//	      effects (appends that are never sorted, event scheduling,
+//	      writes to io.Writer, obs/trace emission) — iterate a sorted
+//	      key slice instead.
+//	D004  no goroutine launches, channel operations, or select inside
+//	      the simulator kernel (internal/sim, internal/machine, the
+//	      recovery engines) — the kernel is single-threaded by design.
+//	D005  no os.Getenv / os.Stdout side channels in internal/
+//	      libraries — configuration comes through machine.Config and
+//	      output through injected io.Writers.
+//
+// A finding can be suppressed with a comment on the same line or the
+// line directly above it:
+//
+//	//simlint:ignore D001 <reason — mandatory>
+//
+// A suppression without a reason or naming an unknown rule is itself an
+// error; a suppression that matches no diagnostic is reported as a
+// stale-suppression warning. Test files (_test.go) are not analyzed:
+// tests may legitimately use wall-clock timeouts and goroutines.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, formatted as "file:line: [RULE] message".
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+	// Warning findings (stale suppressions) are reported but do not make
+	// the run fail unless the caller opts in.
+	Warning bool
+}
+
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+	if d.Warning {
+		s += " (warning)"
+	}
+	return s
+}
+
+// RuleInfo describes one rule and the package subtree(s) it applies to.
+// Scope entries are module-relative paths; a trailing "/..." matches the
+// whole subtree.
+type RuleInfo struct {
+	ID    string
+	Short string
+	Scope []string
+}
+
+// Rules is the rule table, in ID order. The D004 scope pins the
+// single-threaded simulator kernel: the event engine, the machine model,
+// and every recovery engine built on them. Concurrent runtime-side
+// packages (internal/lockmgr, internal/engine, workload drivers) are
+// deliberately outside it.
+var Rules = []RuleInfo{
+	{
+		ID:    "D001",
+		Short: "no wall-clock time in simulation packages (virtual clock only)",
+		Scope: []string{"internal/...", "cmd/..."},
+	},
+	{
+		ID:    "D002",
+		Short: "no global math/rand functions (all randomness via the seeded sim.RNG)",
+		Scope: []string{"internal/...", "cmd/..."},
+	},
+	{
+		ID:    "D003",
+		Short: "no order-sensitive effects inside an unsorted map iteration",
+		Scope: []string{"internal/...", "cmd/..."},
+	},
+	{
+		ID:    "D004",
+		Short: "no goroutines, channels, or select in the single-threaded sim kernel",
+		Scope: []string{
+			"internal/sim",
+			"internal/machine",
+			"internal/recovery/...",
+			"internal/shadoweng",
+			"internal/diffeng",
+		},
+	},
+	{
+		ID:    "D005",
+		Short: "no os env/stdout side channels in internal libraries",
+		Scope: []string{"internal/..."},
+	},
+}
+
+// ruleByID reports the rule table entry for id.
+func ruleByID(id string) (RuleInfo, bool) {
+	for _, r := range Rules {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return RuleInfo{}, false
+}
+
+// KnownRule reports whether id names a rule in the table.
+func KnownRule(id string) bool {
+	_, ok := ruleByID(id)
+	return ok
+}
+
+// Config selects which rules run.
+type Config struct {
+	// Rules enables a subset of rule IDs; nil or empty enables all.
+	Rules []string
+}
+
+func enabledSet(ids []string) (map[string]bool, error) {
+	enabled := make(map[string]bool, len(Rules))
+	if len(ids) == 0 {
+		for _, r := range Rules {
+			enabled[r.ID] = true
+		}
+		return enabled, nil
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if !KnownRule(id) {
+			return nil, fmt.Errorf("lint: unknown rule %q (known: %s)", id, strings.Join(ruleIDs(), ", "))
+		}
+		enabled[id] = true
+	}
+	return enabled, nil
+}
+
+func ruleIDs() []string {
+	ids := make([]string, 0, len(Rules))
+	for _, r := range Rules {
+		ids = append(ids, r.ID)
+	}
+	return ids
+}
+
+// Run analyzes the packages matched by patterns (e.g. "./internal/...",
+// "./cmd/simlint") under the module root and returns the findings sorted
+// by file, line, and rule. A non-empty result does not set err; err is
+// reserved for load failures (bad pattern, unreadable directory,
+// unparseable source).
+func Run(root string, patterns []string, cfg Config) ([]Diagnostic, error) {
+	enabled, err := enabledSet(cfg.Rules)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader(root)
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		pkg, err := ld.load(dir)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, checkPackage(pkg, enabled)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return diags, nil
+}
+
+// scopeMatch reports whether the module-relative package path rel falls
+// under the scope pattern pat ("internal/sim" exact, "internal/..."
+// subtree).
+func scopeMatch(pat, rel string) bool {
+	if base, ok := strings.CutSuffix(pat, "/..."); ok {
+		return rel == base || strings.HasPrefix(rel, base+"/")
+	}
+	return rel == pat
+}
+
+func inScope(r RuleInfo, rel string) bool {
+	for _, pat := range r.Scope {
+		if scopeMatch(pat, rel) {
+			return true
+		}
+	}
+	return false
+}

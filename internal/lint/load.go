@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// RelPath is the slash-separated path relative to the module root
+	// ("internal/sim"); rule scopes match against it.
+	RelPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Info    *types.Info
+	// TypeErrors collects type-check problems without aborting analysis;
+	// rules that need type information degrade gracefully when the info
+	// for a node is missing.
+	TypeErrors []error
+}
+
+// loader parses and type-checks packages with only the standard library.
+// Module-local imports ("repro/internal/...") are resolved by mapping the
+// import path back onto the module directory tree and type-checking that
+// directory recursively; everything else (the standard library) is
+// delegated to the gc source importer, which type-checks $GOROOT/src
+// directly and therefore needs no pre-compiled export data.
+type loader struct {
+	root    string
+	modPath string
+	fset    *token.FileSet
+	std     types.Importer
+	byDir   map[string]*Package
+	byPath  map[string]*types.Package
+	loading map[string]bool
+}
+
+func newLoader(root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root:    root,
+		modPath: modulePath(root),
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		byDir:   map[string]*Package{},
+		byPath:  map[string]*types.Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// modulePath reads the module path from root/go.mod, defaulting to
+// "fixture" so self-contained test corpora work without a go.mod.
+func modulePath(root string) string {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "fixture"
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return "fixture"
+}
+
+// Import implements types.Importer over the module tree + stdlib.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.byPath[path]; ok {
+		return p, nil
+	}
+	if rel, ok := l.relOf(path); ok {
+		if _, err := l.load(filepath.Join(l.root, filepath.FromSlash(rel))); err != nil {
+			return nil, err
+		}
+		if p, ok := l.byPath[path]; ok {
+			return p, nil
+		}
+		return nil, fmt.Errorf("lint: import %q produced no package", path)
+	}
+	return l.std.Import(path)
+}
+
+// relOf maps a module-local import path to its module-relative directory.
+func (l *loader) relOf(importPath string) (string, bool) {
+	if importPath == l.modPath {
+		return ".", true
+	}
+	return strings.CutPrefix(importPath, l.modPath+"/")
+}
+
+// load parses and type-checks the package in dir (memoized).
+func (l *loader) load(dir string) (*Package, error) {
+	dir = filepath.Clean(dir)
+	if p, ok := l.byDir[dir]; ok {
+		return p, nil
+	}
+	if l.loading[dir] {
+		return nil, fmt.Errorf("lint: import cycle through %s", dir)
+	}
+	l.loading[dir] = true
+	defer delete(l.loading, dir)
+
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil {
+		return nil, err
+	}
+	rel = filepath.ToSlash(rel)
+
+	names, err := goSourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	pkg := &Package{
+		RelPath: rel,
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   files,
+		Info: &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Uses:  map[*ast.Ident]types.Object{},
+			Defs:  map[*ast.Ident]types.Object{},
+		},
+	}
+	importPath := l.modPath
+	if rel != "." {
+		importPath = l.modPath + "/" + rel
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.fset, files, pkg.Info)
+	// Soft type errors were collected through conf.Error; only a nil
+	// package (nothing checked at all) is fatal.
+	if tpkg == nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", dir, err)
+	}
+	l.byPath[importPath] = tpkg
+	l.byDir[dir] = pkg
+	return pkg, nil
+}
+
+// goSourceFiles lists the non-test .go files in dir, sorted.
+func goSourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// expandPatterns resolves package patterns ("./internal/...", "cmd/simlint")
+// to the sorted list of package directories beneath root. Like the go
+// tool, the "..." walk skips testdata, vendor, and dot/underscore
+// directories.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		if pat == "" {
+			continue
+		}
+		if base, ok := strings.CutSuffix(pat, "/..."); ok || pat == "..." {
+			if pat == "..." {
+				base = "."
+			}
+			start := filepath.Join(root, filepath.FromSlash(base))
+			err := filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != start && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				names, err := goSourceFiles(path)
+				if err != nil {
+					return err
+				}
+				if len(names) > 0 {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("lint: pattern %q: %w", pat, err)
+			}
+			continue
+		}
+		dir := filepath.Join(root, filepath.FromSlash(pat))
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q does not name a package directory under %s", pat, root)
+		}
+		add(dir)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing a
+// go.mod, so simlint can be invoked from anywhere inside the module.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,392 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// wallClockFuncs are the time functions D001 forbids: everything that
+// reads the host clock or blocks on it. Pure value manipulation
+// (time.Duration arithmetic, time.Unix) is allowed.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// randConstructors are the math/rand (and /v2) identifiers D002 allows:
+// anything that builds an explicitly seeded local generator. Every other
+// package-level call draws from the global stream.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// envFuncs are the os functions D005 forbids as configuration side
+// channels.
+var envFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+	"Setenv": true, "Unsetenv": true,
+}
+
+// osStreams are the os package variables D005 forbids as output side
+// channels.
+var osStreams = map[string]bool{"Stdout": true, "Stderr": true, "Stdin": true}
+
+// sensitivePrefixes / sensitiveExact classify callee names whose effects
+// are order-sensitive when executed under a map iteration: output
+// emission, event scheduling, stateful mutation of metrics or stores.
+// Pure reads (Value, Mean, Percentile, ...) and map-index writes are
+// order-insensitive and deliberately not listed.
+var sensitivePrefixes = []string{
+	"Write", "Print", "Fprint", "Emit", "Trace", "Schedule", "Record",
+	"Observe", "Log", "Push", "Enqueue", "Submit", "Put", "Send", "Append",
+}
+
+var sensitiveExact = map[string]bool{
+	"Add": true, "Inc": true, "Set": true, "Adjust": true, "At": true,
+	"Delete": true, "Remove": true, "Event": true, "Flush": true,
+}
+
+func sensitiveCallName(name string) bool {
+	if name == "" {
+		return false
+	}
+	if sensitiveExact[name] {
+		return true
+	}
+	for _, p := range sensitivePrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checker analyzes one file of one package.
+type checker struct {
+	pkg     *Package
+	file    *ast.File
+	imports map[string]string // fallback identifier -> import path map
+	active  map[string]bool   // rule ID -> enabled && in scope for this file
+	diags   []Diagnostic
+}
+
+// checkPackage runs every enabled rule over every file of pkg and
+// resolves suppression comments.
+func checkPackage(pkg *Package, enabled map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		dirs := parseDirectives(pkg.Fset, file)
+		rel := pkg.RelPath
+		if dirs.pathOverride != "" {
+			rel = dirs.pathOverride
+		}
+		c := &checker{
+			pkg:     pkg,
+			file:    file,
+			imports: importTable(file),
+			active:  map[string]bool{},
+		}
+		for _, r := range Rules {
+			c.active[r.ID] = enabled[r.ID] && inScope(r, rel)
+		}
+		c.walk()
+		out = append(out, applySuppressions(c.diags, dirs)...)
+	}
+	return out
+}
+
+func importTable(file *ast.File) map[string]string {
+	t := map[string]string{}
+	for _, imp := range file.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		name := path.Base(p)
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		t[name] = p
+	}
+	return t
+}
+
+func (c *checker) report(pos token.Pos, rule, msg string) {
+	c.diags = append(c.diags, Diagnostic{
+		Pos:     c.pkg.Fset.Position(pos),
+		Rule:    rule,
+		Message: msg,
+	})
+}
+
+// walk traverses the file keeping an ancestor stack so rules can find
+// their enclosing function body.
+func (c *checker) walk() {
+	var stack []ast.Node
+	ast.Inspect(c.file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		c.visit(n, stack)
+		return true
+	})
+}
+
+func (c *checker) visit(n ast.Node, stack []ast.Node) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		c.checkCall(n)
+	case *ast.SelectorExpr:
+		c.checkStreamRef(n)
+	case *ast.GoStmt:
+		c.kernelViolation(n.Pos(), "goroutine launch (go statement)")
+	case *ast.SendStmt:
+		c.kernelViolation(n.Pos(), "channel send")
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			c.kernelViolation(n.Pos(), "channel receive")
+		}
+	case *ast.SelectStmt:
+		c.kernelViolation(n.Pos(), "select statement")
+	case *ast.ChanType:
+		c.kernelViolation(n.Pos(), "channel type")
+	case *ast.RangeStmt:
+		c.checkMapRange(n, stack)
+	}
+}
+
+// pkgQualified resolves fun as a package-qualified reference ("time.Now")
+// to its import path and name, preferring type information and falling
+// back to the file's import table when type-checking was incomplete.
+func (c *checker) pkgQualified(fun ast.Expr) (pkgPath, name string, ok bool) {
+	sel, isSel := fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	if obj := c.pkg.Info.Uses[id]; obj != nil {
+		pn, isPkg := obj.(*types.PkgName)
+		if !isPkg {
+			return "", "", false
+		}
+		return pn.Imported().Path(), sel.Sel.Name, true
+	}
+	if p, found := c.imports[id.Name]; found {
+		return p, sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+func (c *checker) objectOf(id *ast.Ident) types.Object {
+	if obj := c.pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return c.pkg.Info.Defs[id]
+}
+
+func (c *checker) isBuiltin(id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	obj := c.objectOf(id)
+	if obj == nil {
+		return true // no type info: assume unshadowed builtin
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	if pkgPath, name, ok := c.pkgQualified(call.Fun); ok {
+		switch {
+		case c.active["D001"] && pkgPath == "time" && wallClockFuncs[name]:
+			c.report(call.Pos(), "D001", fmt.Sprintf(
+				"call to time.%s reads the wall clock: simulation code must use the virtual clock (sim.Engine)", name))
+		case c.active["D002"] && (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[name]:
+			c.report(call.Pos(), "D002", fmt.Sprintf(
+				"call to rand.%s draws from the global math/rand stream: all randomness must flow through the seeded sim.RNG", name))
+		case c.active["D005"] && pkgPath == "os" && envFuncs[name]:
+			c.report(call.Pos(), "D005", fmt.Sprintf(
+				"call to os.%s is a configuration side channel: internal packages must take configuration through machine.Config", name))
+		}
+		return
+	}
+	if c.active["D004"] {
+		if id, isIdent := call.Fun.(*ast.Ident); isIdent && c.isBuiltin(id, "close") {
+			c.kernelViolation(call.Pos(), "channel close")
+		}
+	}
+}
+
+func (c *checker) checkStreamRef(sel *ast.SelectorExpr) {
+	if !c.active["D005"] || !osStreams[sel.Sel.Name] {
+		return
+	}
+	if pkgPath, name, ok := c.pkgQualified(sel); ok && pkgPath == "os" {
+		c.report(sel.Pos(), "D005", fmt.Sprintf(
+			"reference to os.%s is an output side channel: internal packages must write through an injected io.Writer", name))
+	}
+}
+
+func (c *checker) kernelViolation(pos token.Pos, what string) {
+	if !c.active["D004"] {
+		return
+	}
+	c.report(pos, "D004", what+": the simulator kernel is single-threaded by design")
+}
+
+// appendTarget records a `x = append(x, ...)` collector inside a map
+// range whose slice was declared outside the loop.
+type appendTarget struct {
+	obj  types.Object
+	name string
+}
+
+// checkMapRange implements D003: a range over a map whose body performs
+// order-sensitive work is only allowed as the sorted-keys idiom — the
+// body does nothing but collect into slices that are sorted (sort.* or
+// slices.*) later in the same function.
+func (c *checker) checkMapRange(rng *ast.RangeStmt, stack []ast.Node) {
+	if !c.active["D003"] {
+		return
+	}
+	tv, ok := c.pkg.Info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return // no type info; stay silent rather than guess
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	effects, appends := c.orderEffects(rng)
+	if len(effects) == 0 && len(appends) == 0 {
+		return
+	}
+	if len(effects) == 0 {
+		// Only collecting appends: allowed when every target is sorted
+		// before the function is done with it.
+		body := enclosingFuncBody(stack)
+		for _, t := range appends {
+			if !c.sortedAfter(body, t.obj, rng.End()) {
+				effects = append(effects, fmt.Sprintf("append to %q, which is never sorted afterwards", t.name))
+			}
+		}
+		if len(effects) == 0 {
+			return
+		}
+	}
+	c.report(rng.Pos(), "D003", fmt.Sprintf(
+		"map iteration with order-sensitive effects (%s): iterate a sorted key slice instead", strings.Join(effects, "; ")))
+}
+
+// orderEffects scans a map-range body for effects whose outcome depends
+// on iteration order.
+func (c *checker) orderEffects(rng *ast.RangeStmt) (effects []string, appends []appendTarget) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, isCall := rhs.(*ast.CallExpr)
+				if !isCall || i >= len(n.Lhs) {
+					continue
+				}
+				if id, isIdent := call.Fun.(*ast.Ident); !isIdent || !c.isBuiltin(id, "append") {
+					continue
+				}
+				lhs, isIdent := n.Lhs[i].(*ast.Ident)
+				if !isIdent {
+					continue
+				}
+				obj := c.objectOf(lhs)
+				if obj == nil {
+					continue
+				}
+				if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+					continue // loop-local collector; order folded away inside the loop
+				}
+				appends = append(appends, appendTarget{obj: obj, name: lhs.Name})
+			}
+		case *ast.CallExpr:
+			if id, isIdent := n.Fun.(*ast.Ident); isIdent && c.isBuiltin(id, "append") {
+				return true // handled via the enclosing assignment
+			}
+			if name := calleeName(n); sensitiveCallName(name) {
+				effects = append(effects, "call to "+exprString(n.Fun))
+			}
+		case *ast.SendStmt:
+			effects = append(effects, "channel send")
+		}
+		return true
+	})
+	return effects, appends
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices call after
+// pos inside body.
+func (c *checker) sortedAfter(body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall || call.Pos() <= pos {
+			return true
+		}
+		pkgPath, _, ok := c.pkgQualified(call.Fun)
+		if !ok || (pkgPath != "sort" && pkgPath != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, isIdent := arg.(*ast.Ident); isIdent && c.objectOf(id) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	default:
+		return "<expr>"
+	}
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A suppression is one well-formed "//simlint:ignore RULE reason"
+// comment. It silences diagnostics of that rule on the comment's own
+// line (trailing comment) or the line directly below it (standalone
+// comment above the offending statement).
+type suppression struct {
+	pos    token.Position
+	rule   string
+	reason string
+	used   bool
+}
+
+// directives is everything simlint-specific found in one file's comments.
+type directives struct {
+	// pathOverride rewrites the module-relative path used for rule
+	// scoping ("//simlint:path internal/sim"); the fixture corpus uses it
+	// to stand in for kernel packages.
+	pathOverride string
+	supps        []*suppression
+	malformed    []Diagnostic
+}
+
+// parseDirectives scans a file's comments for simlint directives.
+// Malformed directives (missing reason, unknown rule, unknown verb) are
+// reported as [LINT] errors so a typo cannot silently disable a check.
+func parseDirectives(fset *token.FileSet, file *ast.File) *directives {
+	d := &directives{}
+	for _, group := range file.Comments {
+		for _, cm := range group.List {
+			text, isLine := strings.CutPrefix(cm.Text, "//")
+			if !isLine {
+				continue // only line comments carry directives
+			}
+			rest, isDirective := strings.CutPrefix(strings.TrimSpace(text), "simlint:")
+			if !isDirective {
+				continue
+			}
+			pos := fset.Position(cm.Pos())
+			verb, arg, _ := strings.Cut(rest, " ")
+			switch verb {
+			case "ignore":
+				rule, reason, _ := strings.Cut(strings.TrimSpace(arg), " ")
+				reason = strings.TrimSpace(reason)
+				switch {
+				case rule == "":
+					d.malformed = append(d.malformed, Diagnostic{Pos: pos, Rule: "LINT",
+						Message: "simlint:ignore needs a rule ID and a reason: //simlint:ignore D00x <reason>"})
+				case !KnownRule(rule):
+					d.malformed = append(d.malformed, Diagnostic{Pos: pos, Rule: "LINT",
+						Message: fmt.Sprintf("simlint:ignore names unknown rule %q (known: %s)", rule, strings.Join(ruleIDs(), ", "))})
+				case reason == "":
+					d.malformed = append(d.malformed, Diagnostic{Pos: pos, Rule: "LINT",
+						Message: fmt.Sprintf("simlint:ignore %s requires a reason explaining why the invariant is safe to waive here", rule)})
+				default:
+					d.supps = append(d.supps, &suppression{pos: pos, rule: rule, reason: reason})
+				}
+			case "path":
+				if p := strings.TrimSpace(arg); p != "" {
+					d.pathOverride = p
+				} else {
+					d.malformed = append(d.malformed, Diagnostic{Pos: pos, Rule: "LINT",
+						Message: "simlint:path needs a module-relative package path"})
+				}
+			default:
+				d.malformed = append(d.malformed, Diagnostic{Pos: pos, Rule: "LINT",
+					Message: fmt.Sprintf("unknown simlint directive %q (known: ignore, path)", verb)})
+			}
+		}
+	}
+	return d
+}
+
+// applySuppressions filters the file's rule diagnostics through its
+// suppressions, then appends malformed-directive errors and
+// stale-suppression warnings.
+func applySuppressions(diags []Diagnostic, d *directives) []Diagnostic {
+	var out []Diagnostic
+	for _, diag := range diags {
+		suppressed := false
+		for _, s := range d.supps {
+			if s.rule == diag.Rule && (s.pos.Line == diag.Pos.Line || s.pos.Line == diag.Pos.Line-1) {
+				s.used = true
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	out = append(out, d.malformed...)
+	for _, s := range d.supps {
+		if !s.used {
+			out = append(out, Diagnostic{Pos: s.pos, Rule: "LINT", Warning: true,
+				Message: fmt.Sprintf("stale simlint:ignore %s: no matching diagnostic on this line or the next", s.rule)})
+		}
+	}
+	return out
+}

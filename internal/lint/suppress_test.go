@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, *directives) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "s.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, parseDirectives(fset, f)
+}
+
+func TestParseDirectivesValid(t *testing.T) {
+	_, d := parseSrc(t, `package p
+
+//simlint:path internal/sim
+//simlint:ignore D003 the body only mutates commutative state
+var x int
+`)
+	if d.pathOverride != "internal/sim" {
+		t.Errorf("pathOverride = %q", d.pathOverride)
+	}
+	if len(d.malformed) != 0 {
+		t.Errorf("unexpected malformed diagnostics: %v", d.malformed)
+	}
+	if len(d.supps) != 1 {
+		t.Fatalf("suppressions = %v, want 1", d.supps)
+	}
+	s := d.supps[0]
+	if s.rule != "D003" || s.reason != "the body only mutates commutative state" || s.pos.Line != 4 {
+		t.Errorf("suppression = %+v", *s)
+	}
+}
+
+func TestParseDirectivesLeadingSpace(t *testing.T) {
+	// A space after // is tolerated; directives stay line comments only.
+	_, d := parseSrc(t, `package p
+
+// simlint:ignore D001 reads the host clock for log names only
+var x int
+
+/*simlint:ignore D001 block comments carry no directives*/
+var y int
+`)
+	if len(d.supps) != 1 || d.supps[0].rule != "D001" {
+		t.Fatalf("suppressions = %v, want the line-comment one", d.supps)
+	}
+	if len(d.malformed) != 0 {
+		t.Errorf("unexpected malformed diagnostics: %v", d.malformed)
+	}
+}
+
+func TestParseDirectivesMissingReason(t *testing.T) {
+	for _, src := range []string{
+		"package p\n\n//simlint:ignore D001\nvar x int\n",
+		"package p\n\n//simlint:ignore D001   \nvar x int\n",
+		"package p\n\n//simlint:ignore\nvar x int\n",
+	} {
+		_, d := parseSrc(t, src)
+		if len(d.supps) != 0 {
+			t.Errorf("%q: reason-less suppression accepted", src)
+		}
+		if len(d.malformed) != 1 {
+			t.Errorf("%q: malformed = %v, want 1 diagnostic", src, d.malformed)
+		}
+	}
+}
+
+func TestParseDirectivesUnknownRule(t *testing.T) {
+	_, d := parseSrc(t, `package p
+
+//simlint:ignore D999 no such rule
+var x int
+`)
+	if len(d.supps) != 0 {
+		t.Error("unknown-rule suppression accepted")
+	}
+	if len(d.malformed) != 1 || !strings.Contains(d.malformed[0].Message, `unknown rule "D999"`) {
+		t.Errorf("malformed = %v", d.malformed)
+	}
+}
+
+func TestParseDirectivesUnknownVerb(t *testing.T) {
+	_, d := parseSrc(t, `package p
+
+//simlint:silence D001 wrong verb
+var x int
+`)
+	if len(d.malformed) != 1 || !strings.Contains(d.malformed[0].Message, "unknown simlint directive") {
+		t.Errorf("malformed = %v", d.malformed)
+	}
+}
+
+func TestApplySuppressions(t *testing.T) {
+	mk := func(line int, rule string) Diagnostic {
+		d := Diagnostic{Rule: rule, Message: "m"}
+		d.Pos.Filename = "s.go"
+		d.Pos.Line = line
+		return d
+	}
+	sup := func(line int, rule string) *suppression {
+		s := &suppression{rule: rule, reason: "r"}
+		s.pos.Line = line
+		return s
+	}
+
+	// Same-line and line-above suppressions silence their rule only.
+	d := &directives{supps: []*suppression{sup(10, "D001"), sup(19, "D003")}}
+	out := applySuppressions([]Diagnostic{mk(10, "D001"), mk(10, "D002"), mk(20, "D003")}, d)
+	if len(out) != 1 || out[0].Rule != "D002" {
+		t.Errorf("applySuppressions = %v, want only the D002 diagnostic", out)
+	}
+
+	// A suppression that matches nothing becomes a stale warning.
+	d = &directives{supps: []*suppression{sup(5, "D004")}}
+	out = applySuppressions(nil, d)
+	if len(out) != 1 || !out[0].Warning || out[0].Rule != "LINT" ||
+		!strings.Contains(out[0].Message, "stale simlint:ignore D004") {
+		t.Errorf("stale suppression result = %v", out)
+	}
+
+	// A suppression two lines above the diagnostic does not reach it.
+	d = &directives{supps: []*suppression{sup(7, "D001")}}
+	out = applySuppressions([]Diagnostic{mk(9, "D001")}, d)
+	if len(out) != 2 {
+		t.Errorf("distant suppression: got %v, want unsuppressed diagnostic plus stale warning", out)
+	}
+}

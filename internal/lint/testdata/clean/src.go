@@ -1,0 +1,40 @@
+// Package fixture is a clean simulator-flavored package: seeded
+// randomness, sorted map iteration, injected output. No findings.
+//
+//simlint:path internal/fixture
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+)
+
+// Model is a toy deterministic model.
+type Model struct {
+	rng   *rand.Rand
+	stats map[string]float64
+}
+
+// NewModel seeds the model's private stream.
+func NewModel(seed int64) *Model {
+	return &Model{rng: rand.New(rand.NewSource(seed)), stats: map[string]float64{}}
+}
+
+// Step accumulates one observation.
+func (m *Model) Step(name string) {
+	m.stats[name] += m.rng.Float64()
+}
+
+// Dump writes the stats in sorted order to an injected writer.
+func (m *Model) Dump(w io.Writer) {
+	keys := make([]string, 0, len(m.stats))
+	for k := range m.stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%g\n", k, m.stats[k])
+	}
+}

@@ -1,0 +1,18 @@
+// Package fixture exercises rule D001: wall-clock time in simulation
+// code. The path directive makes the corpus stand in for a simulation
+// package.
+//
+//simlint:path internal/fixture
+package fixture
+
+import "time"
+
+// Tick reads the host clock three ways; every read is a violation.
+func Tick() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+// Scale is pure duration arithmetic: allowed.
+func Scale(d time.Duration) time.Duration { return 3 * d / 2 }

@@ -1,0 +1,18 @@
+// Package fixture exercises rule D002: the global math/rand stream.
+//
+//simlint:path internal/fixture
+package fixture
+
+import "math/rand"
+
+// Draw uses the global stream: three violations.
+func Draw() int {
+	rand.Seed(42)
+	if rand.Float64() < 0.5 {
+		return rand.Intn(10)
+	}
+	return 0
+}
+
+// Seeded builds an explicitly seeded local generator: allowed.
+func Seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,70 @@
+// Package fixture exercises rule D003: order-sensitive effects under a
+// map iteration.
+//
+//simlint:path internal/fixture
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+type scheduler struct{}
+
+func (scheduler) Schedule(name string) {}
+
+// EmitUnsorted writes rows in map order: nondeterministic output.
+func EmitUnsorted(w io.Writer, stats map[string]int) {
+	for k, v := range stats {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// CollectUnsorted leaks map order through the returned slice.
+func CollectUnsorted(stats map[string]int) []string {
+	var names []string
+	for k := range stats {
+		names = append(names, k)
+	}
+	return names
+}
+
+// FanOut schedules events in map order: nondeterministic event times.
+func FanOut(s scheduler, jobs map[string]int) {
+	for name := range jobs {
+		s.Schedule(name)
+	}
+}
+
+// EmitSorted is the sorted-keys idiom: allowed.
+func EmitSorted(w io.Writer, stats map[string]int) {
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, stats[k])
+	}
+}
+
+// Invert only writes map entries: order-insensitive, allowed.
+func Invert(stats map[string]int) map[int]string {
+	inv := make(map[int]string, len(stats))
+	for k, v := range stats {
+		inv[v] = k
+	}
+	return inv
+}
+
+// MaxValue folds with max: order-insensitive, allowed.
+func MaxValue(stats map[string]int) int {
+	best := 0
+	for _, v := range stats {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,33 @@
+// Package fixture exercises rule D004 by posing as the simulator kernel,
+// where concurrency primitives are banned outright.
+//
+//simlint:path internal/sim
+package fixture
+
+// Fire runs callbacks concurrently: channel type, goroutine, send,
+// receive, and close are all violations.
+func Fire(fns []func()) {
+	done := make(chan struct{}, len(fns))
+	for _, fn := range fns {
+		fn := fn
+		go func() {
+			fn()
+			done <- struct{}{}
+		}()
+	}
+	for range fns {
+		<-done
+	}
+	close(done)
+}
+
+// Wait races a channel against nothing: select and receive violations
+// (plus the channel type in the signature).
+func Wait(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}

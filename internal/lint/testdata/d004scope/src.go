@@ -1,0 +1,21 @@
+// Package fixture shows D004 scoping: the same concurrent code that is
+// banned inside the kernel is fine in a runtime-side package.
+//
+//simlint:path internal/fixture
+package fixture
+
+// Fire runs callbacks concurrently; allowed outside the kernel scope.
+func Fire(fns []func()) {
+	done := make(chan struct{}, len(fns))
+	for _, fn := range fns {
+		fn := fn
+		go func() {
+			fn()
+			done <- struct{}{}
+		}()
+	}
+	for range fns {
+		<-done
+	}
+	close(done)
+}

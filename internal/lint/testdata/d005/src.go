@@ -1,0 +1,26 @@
+// Package fixture exercises rule D005: environment and stdout side
+// channels in internal libraries.
+//
+//simlint:path internal/fixture
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Verbose reads configuration from the environment: violation.
+func Verbose() bool {
+	return os.Getenv("SIM_VERBOSE") != ""
+}
+
+// Banner writes to the process stdout: violation.
+func Banner() {
+	fmt.Fprintln(os.Stdout, "simulator ready")
+}
+
+// Report writes to an injected writer: allowed.
+func Report(w io.Writer) {
+	fmt.Fprintln(w, "simulator ready")
+}

@@ -1,0 +1,12 @@
+// Package fixture: a suppression without a reason is rejected, and the
+// diagnostic it tried to silence still fires.
+//
+//simlint:path internal/fixture
+package fixture
+
+import "time"
+
+// Stamp tries to waive D001 without saying why.
+func Stamp() int64 {
+	return time.Now().UnixNano() //simlint:ignore D001
+}

@@ -1,0 +1,19 @@
+// Package fixture shows well-formed suppressions: same-line and
+// line-above comments with a rule ID and a reason.
+//
+//simlint:path internal/fixture
+package fixture
+
+import "time"
+
+// Stamp names host-side log files; the wall clock never enters
+// simulation state.
+func Stamp() int64 {
+	return time.Now().UnixNano() //simlint:ignore D001 host-side log file naming, never enters simulation state
+}
+
+// Boot waits for the host before the simulation starts.
+func Boot() {
+	//simlint:ignore D001 startup delay on the host side, outside the simulation
+	time.Sleep(time.Millisecond)
+}

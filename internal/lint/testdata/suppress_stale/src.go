@@ -1,0 +1,12 @@
+// Package fixture: a suppression with no matching diagnostic is
+// reported as a stale-suppression warning.
+//
+//simlint:path internal/fixture
+package fixture
+
+// Pure has nothing to suppress; the comment is left over from an old
+// wall-clock implementation.
+func Pure(a, b int) int {
+	//simlint:ignore D001 leftover from an old wall-clock implementation
+	return a + b
+}

@@ -1,0 +1,12 @@
+// Package fixture: a suppression naming an unknown rule is rejected,
+// and the real diagnostic still fires.
+//
+//simlint:path internal/fixture
+package fixture
+
+import "time"
+
+// Stamp tries to waive a rule that does not exist.
+func Stamp() int64 {
+	return time.Now().UnixNano() //simlint:ignore D999 the wall clock is fine here
+}

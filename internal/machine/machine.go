@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/disk"
@@ -667,11 +668,17 @@ func (m *Machine) result() *Result {
 		RecoveryMs: m.waitRec.Mean(),
 		CommitMs:   m.waitCommit.Mean(),
 	}
-	for k, v := range m.model.Stats() {
-		r.Extra[k] = v
+	model := m.model.Stats()
+	keys := make([]string, 0, len(model))
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		r.Extra[k] = model[k]
 		// Mirror model statistics into the registry so a metrics snapshot is
 		// self-contained.
-		m.sink.Reg.PutStat("model."+k, v)
+		m.sink.Reg.PutStat("model."+k, model[k])
 	}
 	r.Profile = m.profile
 	return r

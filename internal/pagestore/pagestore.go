@@ -16,6 +16,7 @@ package pagestore
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -170,8 +171,9 @@ func (s *Store) Pages() int {
 	return len(s.pages)
 }
 
-// Keys returns the ids of all stored pages in unspecified order (used by
-// recovery scans and garbage collection).
+// Keys returns the ids of all stored pages in ascending order, so the
+// recovery scans and garbage collection built on it visit pages in a
+// reproducible sequence.
 func (s *Store) Keys() []PageID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -179,5 +181,6 @@ func (s *Store) Keys() []PageID {
 	for id := range s.pages {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

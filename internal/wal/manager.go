@@ -300,7 +300,13 @@ func (m *Manager) Checkpoint() error {
 	if err := m.forceAll(); err != nil {
 		return err
 	}
-	for p, bp := range m.pool {
+	pooled := make([]pagestore.PageID, 0, len(m.pool))
+	for p := range m.pool {
+		pooled = append(pooled, p)
+	}
+	sort.Slice(pooled, func(i, j int) bool { return pooled[i] < pooled[j] })
+	for _, p := range pooled {
+		bp := m.pool[p]
 		if !bp.dirty {
 			continue
 		}

@@ -3,12 +3,23 @@
 GO ?= go
 
 .PHONY: all build vet lint test race bench tables examples fuzz ci clean
+.PHONY: crashsweep crashsweep-short
 
 all: build vet lint test
 
 # What .github/workflows/ci.yml runs.
-ci: build vet lint test
+ci: build vet lint test crashsweep-short
 	$(GO) test -race ./internal/...
+
+# Deterministic crash-injection sweep with recovery audits
+# (see internal/faultinj and docs/FAULTS.md).
+crashsweep:
+	$(GO) run ./cmd/crashsweep
+
+# Bounded sweep for CI: every 2nd crash point, fewer machine instants —
+# still several hundred audited points, and it runs in seconds.
+crashsweep-short:
+	$(GO) run ./cmd/crashsweep -every 2 -machine-points 4
 
 # simlint: the repo's determinism & simulator-invariant analyzer
 # (stdlib-only, built from source; see docs/LINTING.md).

@@ -100,6 +100,7 @@ type Engine struct {
 	att  map[uint64][]entry
 
 	adds, dels, commits, aborts, merges int64
+	replayed                            int64 // entries scanned by the last Recover
 }
 
 // New creates a differential-file engine on store.
@@ -290,6 +291,7 @@ func (e *Engine) Recover() error {
 		return err
 	}
 	e.nextChunk = nextChunk
+	e.replayed = int64(len(entries))
 	committed := map[uint64]bool{}
 	for _, en := range entries {
 		if en.typ == entryCommit {
@@ -357,7 +359,13 @@ func (e *Engine) Merge() error {
 			return err
 		}
 	}
-	for seq := int64(0); seq < e.nextChunk; seq++ {
+	// Truncate the differential files highest chunk first. The chunk file
+	// must stay a contiguous prefix at all times: a crash mid-truncation then
+	// leaves chunks 0..j, which recovery replays idempotently over the merged
+	// base. Deleting ascending would instead leave a hole at chunk 0 with
+	// stale chunks above it — a later force would fill the hole and recovery
+	// would replay the stale tail on top of newer data.
+	for seq := e.nextChunk - 1; seq >= 0; seq-- {
 		if err := e.store.Delete(chunkPage(seq)); err != nil {
 			return err
 		}
@@ -388,10 +396,11 @@ func (e *Engine) Stats() map[string]int64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return map[string]int64{
-		"adds":    e.adds,
-		"dels":    e.dels,
-		"commits": e.commits,
-		"aborts":  e.aborts,
-		"merges":  e.merges,
+		"adds":     e.adds,
+		"dels":     e.dels,
+		"commits":  e.commits,
+		"aborts":   e.aborts,
+		"merges":   e.merges,
+		"replayed": e.replayed,
 	}
 }

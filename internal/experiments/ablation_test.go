@@ -74,17 +74,38 @@ func TestFuncRecoveryShape(t *testing.T) {
 	if len(tab.Rows) != 6 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
-	// The WAL engines must report real redo/undo work; shadow restarts do
-	// none by construction.
-	redo := func(row int) int64 {
-		v, _ := strconv.ParseInt(tab.Rows[row][3], 10, 64)
+	// The WAL engines must report real restart work (records scanned, redo);
+	// shadow restarts do none by construction.
+	col := func(row, c int) int64 {
+		v, _ := strconv.ParseInt(tab.Rows[row][c], 10, 64)
 		return v
 	}
-	if redo(0) == 0 {
+	if col(0, 2) == 0 {
+		t.Error("wal(1 stream) scanned no log records at restart")
+	}
+	if col(0, 3) == 0 {
 		t.Error("wal(1 stream) reported no redo work")
 	}
-	if redo(2) != 0 {
-		t.Error("shadow reported redo work")
+	if col(2, 2) != 0 || col(2, 3) != 0 {
+		t.Error("shadow reported restart work")
+	}
+	if col(5, 2) == 0 {
+		t.Error("difffile replayed no differential entries at restart")
+	}
+
+	// With wall-clock gone the whole table is deterministic: a second run
+	// must reproduce it cell for cell.
+	again, err := FuncRecovery(Options{NumTxns: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Rows {
+		for j := range tab.Rows[i] {
+			if tab.Rows[i][j] != again.Rows[i][j] {
+				t.Errorf("cell [%d][%d] not deterministic: %q vs %q",
+					i, j, tab.Rows[i][j], again.Rows[i][j])
+			}
+		}
 	}
 }
 

@@ -1,0 +1,106 @@
+package faultinj
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// AuditState checks the recovered engine against the script's oracle. Every
+// page must hold its last committed value with an intact checksum; pages
+// written by an in-doubt commit may hold either the old or the new value,
+// but all of them must agree (atomic commit, never torn). It returns the
+// audit failures (empty means pass) plus whether the in-doubt transaction
+// was applied.
+func AuditState(e *engine.Engine, o *Outcome, pages int) (fails []string, doubtApplied bool) {
+	applied, reverted := 0, 0
+	for p := int64(0); p < int64(pages); p++ {
+		got, err := e.ReadCommitted(p)
+		if err != nil {
+			fails = append(fails, fmt.Sprintf("read page %d: %v", p, err))
+			continue
+		}
+		if msg := CheckPayload(got, p); msg != "" {
+			fails = append(fails, "checksum: "+msg)
+			continue
+		}
+		if v, ok := o.Doubt[p]; ok {
+			switch {
+			case bytes.Equal(got, v):
+				applied++
+			case bytes.Equal(got, o.Model[p]):
+				reverted++
+			default:
+				fails = append(fails, fmt.Sprintf(
+					"page %d = %q, neither in-doubt %q nor committed %q", p, got, v, o.Model[p]))
+			}
+			continue
+		}
+		if want := o.Model[p]; !bytes.Equal(got, want) {
+			fails = append(fails, fmt.Sprintf("durability: page %d = %q, want %q", p, got, want))
+		}
+	}
+	if applied > 0 && reverted > 0 {
+		fails = append(fails, fmt.Sprintf(
+			"atomicity: in-doubt commit torn (%d pages applied, %d reverted)", applied, reverted))
+	}
+	return fails, applied > 0
+}
+
+// snapshotPages captures the committed value of every page, for comparing
+// recovery outputs byte for byte.
+func snapshotPages(e *engine.Engine, pages int) ([][]byte, error) {
+	out := make([][]byte, pages)
+	for p := int64(0); p < int64(pages); p++ {
+		got, err := e.ReadCommitted(p)
+		if err != nil {
+			return nil, fmt.Errorf("page %d: %w", p, err)
+		}
+		out[p] = got
+	}
+	return out, nil
+}
+
+// AuditIdempotence crashes the already-recovered engine again, recovers it
+// a second time, and requires the committed state to be unchanged: running
+// recovery on recovery's own output must be a fixpoint.
+func AuditIdempotence(e *engine.Engine, pages int) []string {
+	before, err := snapshotPages(e, pages)
+	if err != nil {
+		return []string{fmt.Sprintf("idempotence: pre-snapshot: %v", err)}
+	}
+	e.Crash()
+	if err := e.Recover(); err != nil {
+		return []string{fmt.Sprintf("idempotence: second recovery failed: %v", err)}
+	}
+	after, err := snapshotPages(e, pages)
+	if err != nil {
+		return []string{fmt.Sprintf("idempotence: post-snapshot: %v", err)}
+	}
+	var fails []string
+	for p := range before {
+		if !bytes.Equal(before[p], after[p]) {
+			fails = append(fails, fmt.Sprintf(
+				"idempotence: page %d changed across double recovery: %q -> %q",
+				p, before[p], after[p]))
+		}
+	}
+	return fails
+}
+
+// AuditLiveness runs one fresh transaction through the recovered engine and
+// reads its write back: a recovery that leaves the engine wedged fails even
+// if the restored state looks right.
+func AuditLiveness(e *engine.Engine, pages int) []string {
+	p := int64(0)
+	v := Payload(p, 1<<40, 0) // txn id far outside the script's range
+	if err := e.Update(func(tx *engine.Txn) error { return tx.Write(p, v) }); err != nil {
+		return []string{fmt.Sprintf("liveness: post-recovery update: %v", err)}
+	}
+	got, err := e.ReadCommitted(p)
+	if err != nil || !bytes.Equal(got, v) {
+		return []string{fmt.Sprintf("liveness: post-recovery read = %q, %v (want %q)", got, err, v)}
+	}
+	return nil
+}

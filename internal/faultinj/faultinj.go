@@ -1,0 +1,80 @@
+// Package faultinj is the deterministic fault-injection and recovery-audit
+// harness for the functional recovery engines and the performance
+// simulator. Where internal/engine's crash tests cut power at a handful of
+// hand-picked write budgets, this package enumerates crash points
+// systematically:
+//
+//   - every mutation (page write or delete) a recovery engine makes to
+//     stable storage during a scripted workload, including the WAL engine's
+//     separate log store;
+//   - every stable-storage operation (reads included) during restart
+//     recovery itself, so recovery is re-crashed mid-flight and rerun;
+//   - virtual-time instants inside internal/machine performance runs.
+//
+// For each crash point the harness runs crash → recover → audit. The audits
+// are the paper's own claims, machine-checked: atomicity (no partial
+// transaction visible after restart; an in-doubt commit is applied all or
+// nothing), durability (every committed write set present, page checksums
+// intact), idempotence (recovery crashed partway and rerun, then rerun
+// again on its own output, converges to the same state), and liveness (the
+// recovered engine accepts new transactions).
+//
+// Everything is seeded and deterministic: two sweeps with the same options
+// produce byte-identical reports. See docs/FAULTS.md and cmd/crashsweep.
+package faultinj
+
+import "repro/internal/pagestore"
+
+// A Counter observes stable-storage traffic without ever cutting power;
+// sweeps install it for the probe run that discovers how many crash points
+// a workload has. One Counter may be shared by several stores (the WAL
+// engine's data and log stores), in which case it counts their combined,
+// deterministic operation sequence.
+type Counter struct {
+	ops  int64
+	muts int64
+}
+
+// Hook returns the counting fault hook; it never fires.
+func (c *Counter) Hook() pagestore.FaultHook {
+	return func(op pagestore.Op, _ pagestore.PageID, _ int64) bool {
+		c.ops++
+		if op != pagestore.OpRead {
+			c.muts++
+		}
+		return false
+	}
+}
+
+// Ops reports the operations observed (reads, writes, and deletes).
+func (c *Counter) Ops() int64 { return c.ops }
+
+// Mutations reports the mutations observed (writes and deletes).
+func (c *Counter) Mutations() int64 { return c.muts }
+
+// CrashAtMutation returns a hook that cuts power at exactly the n-th
+// mutation (write or delete) it observes, counting across every store it
+// is installed on. It fires once; afterwards it stays quiet, so recovery
+// can proceed over the same store without re-tripping.
+func CrashAtMutation(n int64) pagestore.FaultHook {
+	var seen int64
+	return func(op pagestore.Op, _ pagestore.PageID, _ int64) bool {
+		if op == pagestore.OpRead {
+			return false
+		}
+		seen++
+		return seen == n
+	}
+}
+
+// CrashAtOp returns a hook that cuts power at exactly the n-th operation of
+// any kind — reads included, because restart recovery on the shadow and
+// differential engines is read-mostly and would otherwise present no crash
+// points. Like CrashAtMutation it fires exactly once.
+func CrashAtOp(n int64) pagestore.FaultHook {
+	var seen int64
+	return func(pagestore.Op, pagestore.PageID, int64) bool {
+		seen++
+		return seen == n
+	}
+}

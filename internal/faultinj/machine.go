@@ -1,0 +1,171 @@
+package faultinj
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/recovery/difffile"
+	"repro/internal/recovery/logging"
+	"repro/internal/recovery/shadow"
+	"repro/internal/sim"
+)
+
+// MachineOptions configures the virtual-time crash-point sweep over the
+// performance simulator.
+type MachineOptions struct {
+	Seed    int64 // machine seed (0 keeps the paper's default)
+	Points  int   // crash instants per model (default 8)
+	NumTxns int   // transactions per run (default 10, kept small for CI)
+}
+
+func (o MachineOptions) withDefaults() MachineOptions {
+	if o.Points <= 0 {
+		o.Points = 8
+	}
+	if o.NumTxns <= 0 {
+		o.NumTxns = 10
+	}
+	return o
+}
+
+// ModelReport is the audited result of crash-pointing one recovery model's
+// performance-simulator run.
+type ModelReport struct {
+	Model    string
+	Points   int     // virtual-time crash instants audited
+	Final    int     // committed transactions in the full run
+	EndMs    float64 // full-run virtual completion time
+	Failures []string
+}
+
+// machineModels mirrors the paper's model lineup; each entry builds a fresh
+// recovery model because models carry per-run state.
+func machineModels() []struct {
+	name string
+	mk   func() machine.Model
+} {
+	return []struct {
+		name string
+		mk   func() machine.Model
+	}{
+		{"bare", func() machine.Model { return nil }},
+		{"logging", func() machine.Model { return logging.New(logging.Config{}) }},
+		{"shadow-pt", func() machine.Model { return shadow.NewPageTable(shadow.Config{}) }},
+		{"ow-noundo", func() machine.Model { return shadow.NewOverwrite(shadow.Config{}, true) }},
+		{"ow-noredo", func() machine.Model { return shadow.NewOverwrite(shadow.Config{}, false) }},
+		{"verselect", func() machine.Model { return shadow.NewVersion(shadow.Config{}) }},
+		{"difffile", func() machine.Model { return difffile.New(difffile.Config{}) }},
+	}
+}
+
+func machineConfig(opt MachineOptions) machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.NumTxns = opt.NumTxns
+	cfg.Workload.MaxPages = 60
+	if opt.Seed != 0 {
+		cfg.Seed = opt.Seed
+	}
+	return cfg
+}
+
+// snapshotText renders a machine's full metrics registry to deterministic
+// text; two machines in identical states must render identical bytes.
+func snapshotText(m *machine.Machine) (string, error) {
+	var buf bytes.Buffer
+	if err := m.Metrics().Snapshot().WriteText(&buf); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// SweepMachineModel crash-points one model's run: it probes the full run
+// for its completion time, then for evenly spaced virtual-time instants t
+// verifies that (a) two independent machines cut at t agree on every
+// observable — progress counters and the complete metrics registry, byte
+// for byte (the performance simulator's analogue of recovery determinism),
+// (b) committed progress is monotone in t, and (c) a machine resumed after
+// the cut finishes with exactly the probe's final results (a "crash" of the
+// observer loses no simulated work).
+func SweepMachineModel(name string, mk func() machine.Model, opt MachineOptions) (*ModelReport, error) {
+	opt = opt.withDefaults()
+	cfg := machineConfig(opt)
+	rep := &ModelReport{Model: name}
+
+	probe, err := machine.New(cfg, mk())
+	if err != nil {
+		return nil, fmt.Errorf("faultinj: machine %s: %w", name, err)
+	}
+	full, err := probe.Run()
+	if err != nil {
+		return nil, fmt.Errorf("faultinj: machine %s: probe run: %w", name, err)
+	}
+	rep.Final = full.Committed
+	rep.EndMs = full.SimTime.ToMs()
+
+	prevCommitted := 0
+	for i := 1; i <= opt.Points; i++ {
+		t := sim.Time(int64(full.SimTime) * int64(i) / int64(opt.Points))
+		m1, err := machine.New(cfg, mk())
+		if err != nil {
+			return nil, fmt.Errorf("faultinj: machine %s: %w", name, err)
+		}
+		m2, err := machine.New(cfg, mk())
+		if err != nil {
+			return nil, fmt.Errorf("faultinj: machine %s: %w", name, err)
+		}
+		p1 := m1.RunUntil(t)
+		p2 := m2.RunUntil(t)
+		rep.Points++
+		if p1 != p2 {
+			rep.Failures = append(rep.Failures, fmt.Sprintf(
+				"%s@%s: twin runs diverged: %+v vs %+v", name, t, p1, p2))
+			continue
+		}
+		s1, err := snapshotText(m1)
+		if err != nil {
+			return nil, err
+		}
+		s2, err := snapshotText(m2)
+		if err != nil {
+			return nil, err
+		}
+		if s1 != s2 {
+			rep.Failures = append(rep.Failures, fmt.Sprintf(
+				"%s@%s: twin metrics snapshots differ", name, t))
+		}
+		if p1.Committed < prevCommitted {
+			rep.Failures = append(rep.Failures, fmt.Sprintf(
+				"%s@%s: committed count went backwards (%d after %d)",
+				name, t, p1.Committed, prevCommitted))
+		}
+		prevCommitted = p1.Committed
+		res, err := m1.Run()
+		if err != nil {
+			rep.Failures = append(rep.Failures, fmt.Sprintf(
+				"%s@%s: resume after cut: %v", name, t, err))
+			continue
+		}
+		if res.Committed != full.Committed || res.Aborted != full.Aborted ||
+			res.SimTime != full.SimTime || res.PagesProcessed != full.PagesProcessed {
+			rep.Failures = append(rep.Failures, fmt.Sprintf(
+				"%s@%s: resumed run finished at {c=%d a=%d t=%s pages=%d}, probe {c=%d a=%d t=%s pages=%d}",
+				name, t, res.Committed, res.Aborted, res.SimTime, res.PagesProcessed,
+				full.Committed, full.Aborted, full.SimTime, full.PagesProcessed))
+		}
+	}
+	return rep, nil
+}
+
+// SweepMachines runs the virtual-time sweep for every recovery model.
+func SweepMachines(opt MachineOptions) ([]*ModelReport, error) {
+	var out []*ModelReport
+	for _, mm := range machineModels() {
+		rep, err := SweepMachineModel(mm.name, mm.mk, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

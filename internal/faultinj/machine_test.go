@@ -1,0 +1,41 @@
+package faultinj
+
+import "testing"
+
+// TestMachineSweep crash-points one performance-simulator model and
+// requires every audit — twin-run determinism (including byte-identical
+// metrics registries), monotone progress, and loss-free resume — to pass.
+func TestMachineSweep(t *testing.T) {
+	rep, err := SweepMachineModel("logging", machineModels()[1].mk,
+		MachineOptions{Points: 4, NumTxns: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Error(f)
+	}
+	if rep.Points != 4 {
+		t.Fatalf("points = %d, want 4", rep.Points)
+	}
+	if rep.Final == 0 {
+		t.Fatal("probe run committed nothing")
+	}
+}
+
+// TestMachineSweepAllModels runs a minimal sweep over every recovery model
+// so a determinism regression in any one of them fails here, not only in
+// the slower CI crashsweep.
+func TestMachineSweepAllModels(t *testing.T) {
+	reps, err := SweepMachines(MachineOptions{Points: 2, NumTxns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(machineModels()) {
+		t.Fatalf("models swept = %d, want %d", len(reps), len(machineModels()))
+	}
+	for _, rep := range reps {
+		for _, f := range rep.Failures {
+			t.Errorf("%s: %s", rep.Model, f)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package faultinj
+
+import (
+	"fmt"
+	"io"
+)
+
+// Report bundles one whole crash sweep: the engine crash-point sweeps plus
+// the virtual-time machine sweeps. Rendering is fully deterministic — no
+// wall-clock, no map iteration — so two sweeps with the same options emit
+// byte-identical reports.
+type Report struct {
+	Seed    int64
+	Every   int64
+	Pages   int
+	MaxTxns int
+
+	Engines  []*TargetReport
+	Machines []*ModelReport
+}
+
+// TotalPoints counts every audited crash point in the report.
+func (r *Report) TotalPoints() int {
+	n := 0
+	for _, tr := range r.Engines {
+		n += tr.Points
+	}
+	for _, mr := range r.Machines {
+		n += mr.Points
+	}
+	return n
+}
+
+// TotalFailures counts every audit failure in the report.
+func (r *Report) TotalFailures() int {
+	n := 0
+	for _, tr := range r.Engines {
+		n += len(tr.Failures)
+	}
+	for _, mr := range r.Machines {
+		n += len(mr.Failures)
+	}
+	return n
+}
+
+// Render writes the report as a deterministic plain-text document.
+func (r *Report) Render(w io.Writer) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("crashsweep report (seed=%d every=%d pages=%d txns=%d)\n\n",
+		r.Seed, r.Every, r.Pages, r.MaxTxns); err != nil {
+		return err
+	}
+	if len(r.Engines) > 0 {
+		if err := p("recovery-engine crash points (crash at k-th stable mutation, re-crash during recovery, audit):\n"); err != nil {
+			return err
+		}
+		if err := p("  %-12s %9s %7s %9s %8s %8s %8s %9s\n",
+			"engine", "mutations", "points", "recrashes", "applied", "reverted", "commits", "failures"); err != nil {
+			return err
+		}
+		for _, tr := range r.Engines {
+			if err := p("  %-12s %9d %7d %9d %8d %8d %8d %9d\n",
+				tr.Target, tr.Mutations, tr.Points, tr.Recrashes,
+				tr.DoubtApplied, tr.DoubtReverted, tr.Commits, len(tr.Failures)); err != nil {
+				return err
+			}
+		}
+		if err := p("\n"); err != nil {
+			return err
+		}
+	}
+	if len(r.Machines) > 0 {
+		if err := p("performance-simulator crash points (cut at virtual time t, audit determinism/monotonicity/resume):\n"); err != nil {
+			return err
+		}
+		if err := p("  %-12s %7s %10s %12s %9s\n",
+			"model", "points", "committed", "endMs", "failures"); err != nil {
+			return err
+		}
+		for _, mr := range r.Machines {
+			if err := p("  %-12s %7d %10d %12.3f %9d\n",
+				mr.Model, mr.Points, mr.Final, mr.EndMs, len(mr.Failures)); err != nil {
+				return err
+			}
+		}
+		if err := p("\n"); err != nil {
+			return err
+		}
+	}
+	for _, tr := range r.Engines {
+		for _, f := range tr.Failures {
+			if err := p("FAIL %s\n", f); err != nil {
+				return err
+			}
+		}
+	}
+	for _, mr := range r.Machines {
+		for _, f := range mr.Failures {
+			if err := p("FAIL %s\n", f); err != nil {
+				return err
+			}
+		}
+	}
+	verdict := "PASS"
+	if r.TotalFailures() > 0 {
+		verdict = "FAIL"
+	}
+	return p("total: %d crash points, %d failures — %s\n",
+		r.TotalPoints(), r.TotalFailures(), verdict)
+}

@@ -1,0 +1,126 @@
+package faultinj
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+// Payload builds a self-describing page value: the page it belongs to, the
+// transaction that wrote it, a per-write sequence number, and a CRC32 over
+// all of that. Audits re-derive the checksum after recovery, so a page
+// assembled from two different versions — a torn write — cannot pass.
+func Payload(page int64, txn uint64, n int) []byte {
+	body := fmt.Sprintf("p%d.t%d.n%d.", page, txn, n)
+	return []byte(fmt.Sprintf("%sc%08x", body, crc32.ChecksumIEEE([]byte(body))))
+}
+
+// CheckPayload verifies that data is a well-formed Payload for page:
+// checksum intact and page id matching. It returns a description of the
+// corruption, or "" if the payload is sound.
+func CheckPayload(data []byte, page int64) string {
+	// The checksum is a fixed-width suffix: 'c' plus eight hex digits.
+	i := len(data) - 9
+	if i < 1 || data[i] != 'c' {
+		return fmt.Sprintf("page %d: malformed payload %q", page, data)
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(data[i+1:]), "%08x", &sum); err != nil {
+		return fmt.Sprintf("page %d: unreadable checksum in %q", page, data)
+	}
+	if got := crc32.ChecksumIEEE(data[:i]); got != sum {
+		return fmt.Sprintf("page %d: checksum mismatch in %q (crc %08x)", page, data, got)
+	}
+	var p int64
+	var t uint64
+	var n int
+	if _, err := fmt.Sscanf(string(data[:i]), "p%d.t%d.n%d.", &p, &t, &n); err != nil {
+		return fmt.Sprintf("page %d: unreadable payload body %q", page, data)
+	}
+	if p != page {
+		return fmt.Sprintf("page %d: payload claims page %d (%q)", page, p, data)
+	}
+	return ""
+}
+
+// Outcome is what a scripted workload run left behind, as tracked by the
+// script itself: the oracle the post-recovery audits compare against.
+type Outcome struct {
+	// Model maps every page to its last committed value.
+	Model map[int64][]byte
+	// Doubt holds the write set of a transaction whose Commit returned an
+	// error (power failed mid-commit): recovery may surface it fully applied
+	// or fully reverted, never torn. Nil when no commit was in doubt.
+	Doubt map[int64][]byte
+	// Crashed reports whether the run ended at an injected crash.
+	Crashed bool
+	// Commits counts transactions whose Commit returned nil.
+	Commits int
+}
+
+// RunScript drives e through a seeded, fully deterministic transaction mix
+// over pages [0,pages): each transaction writes 1–3 self-describing
+// payloads, a fifth of them abort voluntarily, and the run stops at the
+// first storage error (the injected crash) or after maxTxns transactions.
+// The caller loads pages (see LoadPages, whose map becomes the outcome's
+// model) and installs fault hooks before calling.
+//
+// With identical seeds, two runs issue identical operation sequences to the
+// engine — which is what makes "crash at the k-th mutation" a well-defined,
+// repeatable crash point.
+func RunScript(e *engine.Engine, model map[int64][]byte, seed int64, pages, maxTxns int) *Outcome {
+	rng := sim.NewRNG(seed)
+	out := &Outcome{Model: model}
+	for i := 0; i < maxTxns; i++ {
+		tx, err := e.Begin()
+		if err != nil {
+			out.Crashed = true
+			return out
+		}
+		writes := make(map[int64][]byte)
+		n := rng.UniformInt(1, 3)
+		for j := 0; j < n; j++ {
+			p := int64(rng.Intn(pages))
+			v := Payload(p, tx.ID(), j)
+			if err := tx.Write(p, v); err != nil {
+				_ = tx.Abort() // may itself fail; the txn is a loser either way
+				out.Crashed = true
+				return out
+			}
+			writes[p] = v
+		}
+		if rng.Bool(0.2) {
+			if err := tx.Abort(); err != nil {
+				out.Crashed = true
+				return out
+			}
+			continue
+		}
+		if err := tx.Commit(); err != nil {
+			out.Doubt = writes
+			out.Crashed = true
+			return out
+		}
+		out.Commits++
+		for p, v := range writes {
+			out.Model[p] = v
+		}
+	}
+	return out
+}
+
+// LoadPages seeds pages [0,pages) of e with committed initial payloads
+// (written as transaction 0) and records them in a fresh model map.
+func LoadPages(e *engine.Engine, pages int) (map[int64][]byte, error) {
+	model := make(map[int64][]byte, pages)
+	for p := int64(0); p < int64(pages); p++ {
+		v := Payload(p, 0, 0)
+		if err := e.Load(p, v); err != nil {
+			return nil, err
+		}
+		model[p] = v
+	}
+	return model, nil
+}

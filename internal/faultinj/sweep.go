@@ -1,0 +1,248 @@
+package faultinj
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/pagestore"
+	"repro/internal/shadoweng"
+	"repro/internal/wal"
+)
+
+// A Target is one recovery architecture under test: a builder for a fresh
+// engine plus every stable store it writes (the WAL engine has two — data
+// and log — and crash points are enumerated across their combined
+// operation sequence).
+type Target struct {
+	Name  string
+	Build func() (*engine.Engine, []*pagestore.Store, error)
+}
+
+// Targets returns every recovery architecture the sweep knows, mirroring
+// the paper's comparison: WAL with one and three parallel log streams,
+// shadow paging (canonical, both overwrite variants, version selection),
+// and differential files.
+func Targets() []Target {
+	return []Target{
+		{"wal-1stream", func() (*engine.Engine, []*pagestore.Store, error) {
+			store := pagestore.New(4096)
+			e, m := engine.NewWALOn(store, wal.Config{PoolPages: 4})
+			return e, []*pagestore.Store{store, m.LogStore()}, nil
+		}},
+		{"wal-3streams", func() (*engine.Engine, []*pagestore.Store, error) {
+			store := pagestore.New(4096)
+			e, m := engine.NewWALOn(store, wal.Config{Streams: 3, Selection: wal.PageMod, PoolPages: 4})
+			return e, []*pagestore.Store{store, m.LogStore()}, nil
+		}},
+		{"shadow", func() (*engine.Engine, []*pagestore.Store, error) {
+			store := pagestore.New(4096)
+			e, err := engine.NewShadowOn(store)
+			return e, []*pagestore.Store{store}, err
+		}},
+		{"ow-noundo", func() (*engine.Engine, []*pagestore.Store, error) {
+			store := pagestore.New(4096)
+			return engine.NewOverwriteOn(store, shadoweng.NoUndo), []*pagestore.Store{store}, nil
+		}},
+		{"ow-noredo", func() (*engine.Engine, []*pagestore.Store, error) {
+			store := pagestore.New(4096)
+			return engine.NewOverwriteOn(store, shadoweng.NoRedo), []*pagestore.Store{store}, nil
+		}},
+		{"verselect", func() (*engine.Engine, []*pagestore.Store, error) {
+			store := pagestore.New(4096)
+			e, err := engine.NewVersionSelectOn(store)
+			return e, []*pagestore.Store{store}, err
+		}},
+		{"difffile", func() (*engine.Engine, []*pagestore.Store, error) {
+			store := pagestore.New(4096)
+			return engine.NewDiffOn(store), []*pagestore.Store{store}, nil
+		}},
+	}
+}
+
+// TargetsByName filters Targets to the comma-separated names in sel; empty
+// or "all" selects everything.
+func TargetsByName(sel string) ([]Target, error) {
+	all := Targets()
+	if sel == "" || sel == "all" {
+		return all, nil
+	}
+	byName := make(map[string]Target, len(all))
+	known := make([]string, 0, len(all))
+	for _, tg := range all {
+		byName[tg.Name] = tg
+		known = append(known, tg.Name)
+	}
+	var out []Target
+	for _, name := range strings.Split(sel, ",") {
+		name = strings.TrimSpace(name)
+		tg, ok := byName[name]
+		if !ok {
+			sort.Strings(known)
+			return nil, fmt.Errorf("faultinj: unknown engine %q (have %s)",
+				name, strings.Join(known, ", "))
+		}
+		out = append(out, tg)
+	}
+	return out, nil
+}
+
+// Options configures an engine sweep.
+type Options struct {
+	Seed    int64 // workload seed (same seed → byte-identical report)
+	Every   int64 // stride between crash points; 1 = every mutation
+	Pages   int   // database pages in the scripted workload (default 6)
+	MaxTxns int   // transactions per scripted run (default 25)
+	// RecrashCycle varies where recovery itself is re-crashed: crash point k
+	// re-crashes recovery at stable-storage operation 1+(k-1)%RecrashCycle
+	// (default 5).
+	RecrashCycle int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Every <= 0 {
+		o.Every = 1
+	}
+	if o.Pages <= 0 {
+		o.Pages = 6
+	}
+	if o.MaxTxns <= 0 {
+		o.MaxTxns = 25
+	}
+	if o.RecrashCycle <= 0 {
+		o.RecrashCycle = 5
+	}
+	return o
+}
+
+// TargetReport is the audited result of sweeping one recovery architecture.
+type TargetReport struct {
+	Target        string
+	Mutations     int64    // stable mutations in the crash-free probe run
+	Points        int      // crash points injected and audited
+	Recrashes     int      // recoveries that were crashed mid-flight and rerun
+	DoubtApplied  int      // in-doubt commits recovery surfaced as applied
+	DoubtReverted int      // in-doubt commits recovery rolled back
+	Commits       int64    // committed transactions across all point runs
+	Failures      []string // audit failures; empty means every audit passed
+}
+
+func (r *TargetReport) fail(k int64, format string, args ...any) {
+	r.Failures = append(r.Failures,
+		fmt.Sprintf("%s@%d: %s", r.Target, k, fmt.Sprintf(format, args...)))
+}
+
+// SweepTarget enumerates every opt.Every-th stable mutation of the scripted
+// workload as a crash point and, for each one, runs crash → recover →
+// audit, re-crashing recovery itself partway through. The returned error
+// reports harness problems (a target that cannot even be built); audit
+// verdicts live in the report.
+func SweepTarget(tg Target, opt Options) (*TargetReport, error) {
+	opt = opt.withDefaults()
+	rep := &TargetReport{Target: tg.Name}
+
+	// Probe run: count the workload's stable mutations without crashing.
+	e, stores, err := tg.Build()
+	if err != nil {
+		return nil, fmt.Errorf("faultinj: build %s: %w", tg.Name, err)
+	}
+	model, err := LoadPages(e, opt.Pages)
+	if err != nil {
+		return nil, fmt.Errorf("faultinj: load %s: %w", tg.Name, err)
+	}
+	ctr := &Counter{}
+	hook := ctr.Hook()
+	for _, s := range stores {
+		s.SetFaultHook(hook)
+	}
+	probe := RunScript(e, model, opt.Seed, opt.Pages, opt.MaxTxns)
+	if probe.Crashed {
+		return nil, fmt.Errorf("faultinj: %s: probe run crashed without injection", tg.Name)
+	}
+	rep.Mutations = ctr.Mutations()
+
+	for k := int64(1); k <= rep.Mutations; k += opt.Every {
+		if err := sweepPoint(tg, opt, rep, k); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// sweepPoint audits one crash point: cut power at the k-th stable mutation,
+// crash recovery itself at a k-derived operation, finish recovery, then
+// audit state, idempotence, and liveness.
+func sweepPoint(tg Target, opt Options, rep *TargetReport, k int64) error {
+	e, stores, err := tg.Build()
+	if err != nil {
+		return fmt.Errorf("faultinj: build %s: %w", tg.Name, err)
+	}
+	model, err := LoadPages(e, opt.Pages)
+	if err != nil {
+		return fmt.Errorf("faultinj: load %s: %w", tg.Name, err)
+	}
+	hook := CrashAtMutation(k)
+	for _, s := range stores {
+		s.SetFaultHook(hook)
+	}
+	out := RunScript(e, model, opt.Seed, opt.Pages, opt.MaxTxns)
+	rep.Points++
+	rep.Commits += int64(out.Commits)
+	e.Crash()
+
+	// Re-crash recovery partway through: the restarted restart must still
+	// converge. CrashAtOp fires exactly once, so the retry below runs over
+	// the same armed stores without tripping again.
+	j := 1 + (k-1)%opt.RecrashCycle
+	rhook := CrashAtOp(j)
+	for _, s := range stores {
+		s.SetFaultHook(rhook)
+	}
+	if err := e.Recover(); err != nil {
+		rep.Recrashes++
+		e.Crash()
+		if err := e.Recover(); err != nil {
+			rep.fail(k, "recovery after mid-recovery crash (op %d): %v", j, err)
+			return nil
+		}
+	}
+	for _, s := range stores {
+		s.SetFaultHook(nil)
+	}
+
+	fails, applied := AuditState(e, out, opt.Pages)
+	rep.Failures = append(rep.Failures, prefix(tg.Name, k, fails)...)
+	if out.Doubt != nil {
+		if applied {
+			rep.DoubtApplied++
+		} else {
+			rep.DoubtReverted++
+		}
+	}
+	rep.Failures = append(rep.Failures, prefix(tg.Name, k, AuditIdempotence(e, opt.Pages))...)
+	rep.Failures = append(rep.Failures, prefix(tg.Name, k, AuditLiveness(e, opt.Pages))...)
+	return nil
+}
+
+func prefix(target string, k int64, fails []string) []string {
+	out := make([]string, 0, len(fails))
+	for _, f := range fails {
+		out = append(out, fmt.Sprintf("%s@%d: %s", target, k, f))
+	}
+	return out
+}
+
+// Sweep runs SweepTarget over targets and bundles the reports.
+func Sweep(targets []Target, opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	rep := &Report{Seed: opt.Seed, Every: opt.Every, Pages: opt.Pages, MaxTxns: opt.MaxTxns}
+	for _, tg := range targets {
+		tr, err := SweepTarget(tg, opt)
+		if err != nil {
+			return nil, err
+		}
+		rep.Engines = append(rep.Engines, tr)
+	}
+	return rep, nil
+}

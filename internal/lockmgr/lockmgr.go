@@ -2,11 +2,23 @@
 // functional recovery engines: shared/exclusive modes, lock upgrades, FIFO
 // queuing, and waits-for-graph deadlock detection. It plays the role the
 // back-end controller's scheduler plays in the paper's database machine.
+//
+// Deadlock-victim rule: when a lock request would close a cycle in the
+// waits-for graph, the victim is the youngest transaction on that cycle —
+// the one with the highest TxnID, which (TxnIDs being allocated in Begin
+// order) has done the least work. The rule is a pure function of the cycle's
+// membership, computed by depth-first search over sorted adjacency lists, so
+// which transaction aborts never depends on map iteration order or on which
+// request happened to detect the cycle: same wait graph, same victim, every
+// run. The chosen victim's Lock call returns ErrDeadlock — whether it is the
+// requester that closed the cycle or a transaction already parked in a
+// queue — and the caller must abort it (ReleaseAll) to unblock the rest.
 package lockmgr
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -42,6 +54,9 @@ type waiter struct {
 	txn   TxnID
 	mode  Mode
 	ready chan struct{}
+	// err is set (before ready is closed) when the waiter was chosen as a
+	// deadlock victim instead of being granted.
+	err error
 }
 
 type lockState struct {
@@ -60,6 +75,7 @@ type Manager struct {
 
 	waits     int64
 	deadlocks int64
+	victims   []TxnID // deadlock victims in detection order
 }
 
 // New returns an empty lock manager.
@@ -71,9 +87,12 @@ func New() *Manager {
 	}
 }
 
-// Lock acquires page p in mode for txn, blocking until granted. It returns
-// ErrDeadlock if waiting would close a cycle; the caller must then abort the
-// transaction (release its locks) to unblock the others.
+// Lock acquires page p in mode for txn, blocking until granted. When
+// waiting would close a cycle in the waits-for graph, the youngest
+// transaction on that cycle (highest TxnID) is chosen as the victim and its
+// Lock call returns ErrDeadlock — that may be this call, or a call already
+// parked in a queue. The victim's caller must abort it (release its locks)
+// to unblock the others.
 func (m *Manager) Lock(txn TxnID, p PageID, mode Mode) error {
 	if txn == 0 {
 		return fmt.Errorf("lockmgr: TxnID 0 is reserved")
@@ -97,34 +116,87 @@ func (m *Manager) Lock(txn TxnID, p PageID, mode Mode) error {
 		}
 	}
 
-	if m.compatible(ls, txn, mode) && len(ls.queue) == 0 {
-		m.grant(ls, txn, p, mode)
-		m.mu.Unlock()
-		return nil
-	}
+	for {
+		if m.compatible(ls, txn, mode) && len(ls.queue) == 0 {
+			m.grant(ls, txn, p, mode)
+			m.mu.Unlock()
+			return nil
+		}
 
-	// Must wait: record waits-for edges and check for a cycle.
-	w := &waiter{txn: txn, mode: mode, ready: make(chan struct{})}
-	blockers := m.blockers(ls, txn)
-	if m.wouldDeadlock(txn, blockers) {
+		// Must wait: adding the edges txn -> blockers may close a cycle.
+		blockers := m.blockers(ls, txn)
+		cycle := m.cycle(txn, blockers)
+		if len(cycle) == 0 {
+			edges := m.waitsOn[txn]
+			if edges == nil {
+				edges = make(map[TxnID]bool)
+				m.waitsOn[txn] = edges
+			}
+			for b := range blockers {
+				edges[b] = true
+			}
+			w := &waiter{txn: txn, mode: mode, ready: make(chan struct{})}
+			ls.queue = append(ls.queue, w)
+			m.waits++
+			m.mu.Unlock()
+
+			<-w.ready
+			return w.err
+		}
+
+		// Deadlock. The victim is the youngest (highest TxnID) transaction
+		// on the cycle — a rule that depends only on the cycle's membership,
+		// never on which request detected it.
+		victim := cycle[len(cycle)-1] // cycle is sorted ascending
 		m.deadlocks++
-		m.mu.Unlock()
-		return ErrDeadlock
+		m.victims = append(m.victims, victim)
+		if victim == txn {
+			m.mu.Unlock()
+			return ErrDeadlock
+		}
+		// The victim is parked in some queue. Hand it ErrDeadlock and retry:
+		// removing its wait edges breaks this cycle, though its held locks
+		// still block us until its caller aborts it.
+		m.evict(victim)
 	}
-	edges := m.waitsOn[txn]
-	if edges == nil {
-		edges = make(map[TxnID]bool)
-		m.waitsOn[txn] = edges
-	}
-	for b := range blockers {
-		edges[b] = true
-	}
-	ls.queue = append(ls.queue, w)
-	m.waits++
-	m.mu.Unlock()
+}
 
-	<-w.ready
-	return nil
+// evict hands ErrDeadlock to a parked victim: its queue entries are removed
+// (waking any waiters they blocked), its outgoing wait edges disappear, and
+// its blocked Lock call returns the error. Its held locks stay put until the
+// caller-side abort runs ReleaseAll. Callers hold m.mu.
+func (m *Manager) evict(victim TxnID) {
+	delete(m.waitsOn, victim)
+	for _, p := range m.lockedPages() {
+		ls := m.locks[p]
+		changed := false
+		rest := ls.queue[:0]
+		for _, w := range ls.queue {
+			if w.txn == victim {
+				changed = true
+				w.err = ErrDeadlock
+				close(w.ready)
+				continue
+			}
+			rest = append(rest, w)
+		}
+		ls.queue = rest
+		if changed {
+			m.wake(ls, p)
+			m.cleanup(p, ls)
+		}
+	}
+}
+
+// lockedPages returns the pages with lock state in ascending order, so
+// queue scrubs wake waiters in a reproducible sequence.
+func (m *Manager) lockedPages() []PageID {
+	out := make([]PageID, 0, len(m.locks))
+	for p := range m.locks {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // blockers returns every transaction that currently prevents txn from being
@@ -147,33 +219,68 @@ func (m *Manager) blockers(ls *lockState, txn TxnID) map[TxnID]bool {
 	return out
 }
 
-// wouldDeadlock reports whether adding edges txn->blockers closes a cycle in
-// the waits-for graph.
-func (m *Manager) wouldDeadlock(txn TxnID, blockers map[TxnID]bool) bool {
-	// DFS from each blocker looking for txn.
-	seen := map[TxnID]bool{}
-	var dfs func(t TxnID) bool
-	dfs = func(t TxnID) bool {
+// cycle reports the transactions on the waits-for cycle(s) that adding the
+// edges txn -> blockers would close, in ascending TxnID order (txn itself
+// included); it returns nil when no cycle would form. Adjacency is traversed
+// in sorted order, so the result — and therefore the victim choice — is
+// independent of map iteration order.
+func (m *Manager) cycle(txn TxnID, blockers map[TxnID]bool) []TxnID {
+	// reaches memoizes whether txn is reachable from a node along existing
+	// edges. The existing graph is acyclic (cycles are refused at creation),
+	// so the provisional "no" entry only guards against repeated work.
+	memo := map[TxnID]int{} // 0 unknown, 1 reaches txn, 2 does not
+	var reaches func(t TxnID) bool
+	reaches = func(t TxnID) bool {
 		if t == txn {
 			return true
 		}
-		if seen[t] {
+		switch memo[t] {
+		case 1:
+			return true
+		case 2:
 			return false
 		}
-		seen[t] = true
-		for next := range m.waitsOn[t] {
-			if dfs(next) {
+		memo[t] = 2
+		for _, next := range sortedIDs(m.waitsOn[t]) {
+			if reaches(next) {
+				memo[t] = 1
 				return true
 			}
 		}
 		return false
 	}
-	for b := range blockers {
-		if dfs(b) {
-			return true
+	// A node is on a new cycle exactly when it lies on a path from some
+	// blocker back to txn: reachable from a blocker through nodes that all
+	// reach txn, and reaching txn itself.
+	onCycle := map[TxnID]bool{}
+	var mark func(t TxnID)
+	mark = func(t TxnID) {
+		if t == txn || onCycle[t] || !reaches(t) {
+			return
+		}
+		onCycle[t] = true
+		for _, next := range sortedIDs(m.waitsOn[t]) {
+			mark(next)
 		}
 	}
-	return false
+	for _, b := range sortedIDs(blockers) {
+		mark(b)
+	}
+	if len(onCycle) == 0 {
+		return nil
+	}
+	onCycle[txn] = true
+	return sortedIDs(onCycle)
+}
+
+// sortedIDs returns the set's members in ascending order.
+func sortedIDs(set map[TxnID]bool) []TxnID {
+	out := make([]TxnID, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func (m *Manager) lockState(p PageID) *lockState {
@@ -227,7 +334,12 @@ func (m *Manager) ReleaseAll(txn TxnID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.waitsOn, txn)
+	held := make([]PageID, 0, len(m.held[txn]))
 	for p := range m.held[txn] {
+		held = append(held, p)
+	}
+	sort.Slice(held, func(i, j int) bool { return held[i] < held[j] })
+	for _, p := range held {
 		ls := m.locks[p]
 		if ls == nil {
 			continue
@@ -241,8 +353,10 @@ func (m *Manager) ReleaseAll(txn TxnID) {
 	}
 	delete(m.held, txn)
 	// txn may also sit in queues of pages it does not hold (it should not,
-	// because Lock blocks, but a deadlock victim might have raced). Scrub.
-	for p, ls := range m.locks {
+	// because Lock blocks, but a deadlock victim might have raced). Scrub,
+	// in page order so wake-ups replay identically run to run.
+	for _, p := range m.lockedPages() {
+		ls := m.locks[p]
 		changed := false
 		rest := ls.queue[:0]
 		for _, w := range ls.queue {
@@ -305,4 +419,13 @@ func (m *Manager) Stats() (waits, deadlocks int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.waits, m.deadlocks
+}
+
+// Victims returns the deadlock victims chosen so far, in detection order.
+// With the youngest-on-cycle rule the trace is a pure function of the wait
+// graphs that formed, so same-seed runs produce identical traces.
+func (m *Manager) Victims() []TxnID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]TxnID(nil), m.victims...)
 }

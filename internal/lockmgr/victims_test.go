@@ -1,0 +1,141 @@
+package lockmgr
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitForWaits polls until the manager has seen at least n lock waits; the
+// scripted deadlock scenarios use it to pin down the wait graph before the
+// closing request arrives.
+func waitForWaits(t *testing.T, m *Manager, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if w, _ := m.Stats(); w >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("wait graph never reached %d waits", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWaitingVictimEvicted pins the youngest-on-cycle rule when the victim
+// is not the requester: the youngest transaction is already parked in a
+// queue, and the cycle is closed by an older one. The parked Lock call must
+// return ErrDeadlock while the older requester waits and is then granted.
+func TestWaitingVictimEvicted(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 10, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, 20, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// T2 (youngest) waits for p10 held by T1.
+	victimErr := make(chan error, 1)
+	go func() { victimErr <- m.Lock(2, 10, Exclusive) }()
+	waitForWaits(t, m, 1)
+
+	// T1 closes the cycle {1,2}. Victim is T2 — the parked waiter — so T1's
+	// own request must block until T2 aborts, then be granted.
+	granted := make(chan error, 1)
+	go func() { granted <- m.Lock(1, 20, Exclusive) }()
+
+	select {
+	case err := <-victimErr:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("victim err = %v, want ErrDeadlock", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked victim never received ErrDeadlock")
+	}
+	m.ReleaseAll(2) // the victim's caller aborts it
+
+	select {
+	case err := <-granted:
+		if err != nil {
+			t.Fatalf("survivor err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("survivor never granted after victim abort")
+	}
+	if !m.Holds(1, 20, Exclusive) {
+		t.Fatal("survivor does not hold the contested lock")
+	}
+	if got := m.Victims(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("victims = %v, want [2]", got)
+	}
+}
+
+// runThreeCycle builds the same three-transaction cycle every time —
+// T3 holds p3 and waits for p1, T2 holds p2 and waits for p3, then T1
+// (holding p1) requests p2 — and returns the victim trace.
+func runThreeCycle(t *testing.T) []TxnID {
+	t.Helper()
+	m := New()
+	for i := int64(1); i <= 3; i++ {
+		if err := m.Lock(TxnID(i), PageID(i), Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- m.Lock(3, 1, Exclusive) }()
+	waitForWaits(t, m, 1)
+	go func() { errs <- m.Lock(2, 3, Exclusive) }()
+	waitForWaits(t, m, 2)
+
+	// T1 closes the cycle {1,2,3}; the youngest (T3) must be the victim even
+	// though it is parked two edges away from the detecting request.
+	grant := make(chan error, 1)
+	go func() { grant <- m.Lock(1, 2, Exclusive) }()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("victim err = %v, want ErrDeadlock", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no victim evicted")
+	}
+	m.ReleaseAll(3)
+	// With T3 gone, T2 gets p3, and once T2 is released T1 gets p2.
+	select {
+	case err := <-errs:
+		if err != nil {
+			t.Fatalf("T2 err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("T2 never granted")
+	}
+	m.ReleaseAll(2)
+	select {
+	case err := <-grant:
+		if err != nil {
+			t.Fatalf("T1 err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("T1 never granted")
+	}
+	m.ReleaseAll(1)
+	return m.Victims()
+}
+
+// TestVictimTraceDeterministic is the regression test for ROADMAP open item
+// 1: the same wait graph must elect the same victim on every run, no matter
+// how goroutines interleave or maps iterate. Before the ordered-traversal
+// fix, which transaction aborted differed run to run.
+func TestVictimTraceDeterministic(t *testing.T) {
+	first := runThreeCycle(t)
+	if len(first) != 1 || first[0] != 3 {
+		t.Fatalf("victims = %v, want [3] (youngest on cycle)", first)
+	}
+	for i := 0; i < 49; i++ {
+		got := runThreeCycle(t)
+		if len(got) != len(first) || got[0] != first[0] {
+			t.Fatalf("run %d: victims = %v, first run had %v", i+2, got, first)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
@@ -111,5 +112,39 @@ func TestSnapshotJSONDeterministic(t *testing.T) {
 	}
 	if !bytes.Contains(a, []byte(`"a.count": 1`)) {
 		t.Fatalf("snapshot JSON missing counter: %s", a)
+	}
+}
+
+func TestSnapshotWriteText(t *testing.T) {
+	build := func() string {
+		eng := sim.New()
+		r := NewRegistry(eng)
+		r.Counter("z.count").Add(3)
+		r.Counter("a.count").Add(1)
+		r.Gauge("m.gauge").Set(2.5)
+		h := r.Histogram("lat.ms")
+		h.Observe(1.5)
+		h.Observe(800)
+		r.Func("u.func", func() float64 { return 0.75 })
+		r.PutStat("s.stat", 9)
+		eng.RunUntil(sim.Ms(10))
+		var buf bytes.Buffer
+		if err := r.Snapshot().WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("identical registries rendered different text:\n%s\n---\n%s", a, b)
+	}
+	// Names appear in sorted order regardless of registration order.
+	if !strings.Contains(a, "counter a.count 1\ncounter z.count 3\n") {
+		t.Fatalf("counters missing or unsorted:\n%s", a)
+	}
+	for _, want := range []string{"nowMs ", "gauge m.gauge ", "hist lat.ms ", "stat s.stat ", "stat u.func "} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("rendered text missing %q:\n%s", want, a)
+		}
 	}
 }

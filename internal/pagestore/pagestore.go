@@ -11,6 +11,9 @@
 // Fault injection: SetWriteBudget arms a countdown; when it reaches zero
 // the store "crashes" — every subsequent operation fails with ErrCrashed
 // until Reset is called. This lets tests cut power at any write boundary.
+// For systematic crash-point sweeps, SetFaultHook installs an arbitrary
+// predicate consulted before every read, write, and delete; returning true
+// cuts power at exactly that operation (see internal/faultinj).
 package pagestore
 
 import (
@@ -35,6 +38,38 @@ type page struct {
 	version uint64
 }
 
+// Op identifies a stable-storage operation presented to a FaultHook.
+type Op uint8
+
+// The operations a FaultHook observes.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpDelete
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpDelete:
+		return "delete"
+	}
+	return "op?"
+}
+
+// A FaultHook is consulted before every read, write, and delete on a live
+// store. Returning true cuts power at exactly that operation: the op fails
+// with ErrCrashed and the store stays down until Reset. seq is the store's
+// monotone operation sequence number (1-based, counting every hooked op over
+// the store's whole lifetime — Reset does not rewind it), so a sweep can
+// enumerate crash points exhaustively. The hook runs with the store's lock
+// held and must not call back into the store.
+type FaultHook func(op Op, id PageID, seq int64) bool
+
 // Store is an in-memory simulated disk. The zero value is not usable; create
 // one with New. Store is safe for concurrent use.
 type Store struct {
@@ -44,6 +79,8 @@ type Store struct {
 
 	writeBudget int64 // -1 = unlimited
 	crashed     bool
+	hook        FaultHook
+	opSeq       int64
 
 	reads  int64
 	writes int64
@@ -76,6 +113,9 @@ func (s *Store) Write(id PageID, data []byte, version uint64) error {
 	if s.crashed {
 		return ErrCrashed
 	}
+	if s.fire(OpWrite, id) {
+		return ErrCrashed
+	}
 	if s.writeBudget == 0 {
 		s.crashed = true
 		return ErrCrashed
@@ -95,6 +135,9 @@ func (s *Store) Read(id PageID) ([]byte, uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.crashed {
+		return nil, 0, ErrCrashed
+	}
+	if s.fire(OpRead, id) {
 		return nil, 0, ErrCrashed
 	}
 	p, ok := s.pages[id]
@@ -123,8 +166,42 @@ func (s *Store) Delete(id PageID) error {
 	if s.crashed {
 		return ErrCrashed
 	}
+	if s.fire(OpDelete, id) {
+		return ErrCrashed
+	}
 	delete(s.pages, id)
 	return nil
+}
+
+// fire advances the operation sequence and consults the fault hook; it
+// reports true (and marks the store crashed) when the hook cuts power here.
+// Callers hold s.mu.
+func (s *Store) fire(op Op, id PageID) bool {
+	s.opSeq++
+	if s.hook != nil && s.hook(op, id, s.opSeq) {
+		s.crashed = true
+		return true
+	}
+	return false
+}
+
+// SetFaultHook installs (or, with nil, removes) the fault hook. Unlike the
+// write budget, the hook survives Reset: restoring power does not disarm an
+// experimenter's probe, which is what lets sweeps crash a store again in the
+// middle of recovery.
+func (s *Store) SetFaultHook(h FaultHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
+}
+
+// OpSeq reports the store's lifetime operation sequence number: the count of
+// reads, writes, and deletes attempted on a live store so far. Reset does
+// not rewind it.
+func (s *Store) OpSeq() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opSeq
 }
 
 // SetWriteBudget arms fault injection: after n more successful writes, the
@@ -149,7 +226,8 @@ func (s *Store) Crashed() bool {
 }
 
 // Reset brings a crashed store back online (power restored). Stable
-// contents are preserved — that is the point.
+// contents are preserved — that is the point. The write budget is disarmed;
+// an installed fault hook stays armed (see SetFaultHook).
 func (s *Store) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()

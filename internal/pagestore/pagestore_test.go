@@ -182,3 +182,90 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("pages = %d", s.Pages())
 	}
 }
+
+func TestFaultHookCutsPowerAtWrite(t *testing.T) {
+	s := New(64)
+	var seen []Op
+	s.SetFaultHook(func(op Op, id PageID, seq int64) bool {
+		seen = append(seen, op)
+		return op == OpWrite && seq == 3
+	})
+	if err := s.Write(1, []byte("a"), 0); err != nil { // seq 1
+		t.Fatal(err)
+	}
+	if _, _, err := s.Read(1); err != nil { // seq 2
+		t.Fatal(err)
+	}
+	if err := s.Write(2, []byte("b"), 0); !errors.Is(err, ErrCrashed) { // seq 3
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if !s.Crashed() {
+		t.Fatal("store not crashed after hook fired")
+	}
+	// Down means down: every operation fails, and the hook sees none of them.
+	if _, _, err := s.Read(1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read on crashed store: %v", err)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("hook saw %d ops, want 3", len(seen))
+	}
+	// The faulted write never landed.
+	s.Reset()
+	if s.Exists(2) {
+		t.Fatal("crashed write became durable")
+	}
+	if !s.Exists(1) {
+		t.Fatal("pre-crash write lost")
+	}
+}
+
+func TestFaultHookSurvivesReset(t *testing.T) {
+	s := New(64)
+	fired := 0
+	s.SetFaultHook(func(op Op, id PageID, seq int64) bool {
+		if op == OpDelete {
+			fired++
+			return true
+		}
+		return false
+	})
+	if err := s.Delete(1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v", err)
+	}
+	s.Reset()
+	if err := s.Delete(1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-Reset delete: %v", err)
+	}
+	if fired != 2 {
+		t.Fatalf("hook fired %d times, want 2 (hook must survive Reset)", fired)
+	}
+	s.Reset()
+	s.SetFaultHook(nil)
+	if err := s.Delete(1); err != nil {
+		t.Fatalf("delete after disarm: %v", err)
+	}
+}
+
+func TestOpSeqMonotoneAcrossReset(t *testing.T) {
+	s := New(64)
+	var seqs []int64
+	s.SetFaultHook(func(op Op, id PageID, seq int64) bool {
+		seqs = append(seqs, seq)
+		return false
+	})
+	if err := s.Write(1, []byte("a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if _, _, err := s.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.OpSeq() != 2 {
+		t.Fatalf("OpSeq = %d, want 2", s.OpSeq())
+	}
+	for i, want := range []int64{1, 2} {
+		if seqs[i] != want {
+			t.Fatalf("seqs = %v, want [1 2]", seqs)
+		}
+	}
+}

@@ -66,6 +66,7 @@ type Manager struct {
 	steals     int64
 	redone     int64
 	undone     int64
+	scanned    int64 // log records merged by the last Recover
 	recoveries int64
 
 	// archiveLSN pins log truncation while an archive snapshot is live:
@@ -175,8 +176,22 @@ func (m *Manager) Commit(tid uint64) error {
 	if ts == nil {
 		return fmt.Errorf("wal: transaction %d not active", tid)
 	}
-	m.appendRec(Record{Type: RecCommit, Txn: tid, PrevLSN: ts.lastLSN})
-	if err := m.forceAll(); err != nil {
+	// Force the commit record's stream last. The restart merge treats a
+	// durable commit record as proof the transaction's updates are durable
+	// too, which only holds if every other stream — where those updates may
+	// live — reaches disk before the commit record can. A crash anywhere in
+	// this sequence then leaves either no commit record (the transaction is
+	// undone whole) or a complete transaction: atomic, never torn.
+	_, ci := m.appendRecOn(Record{Type: RecCommit, Txn: tid, PrevLSN: ts.lastLSN})
+	for i, s := range m.streams {
+		if i == ci {
+			continue
+		}
+		if err := s.force(); err != nil {
+			return fmt.Errorf("wal: commit %d in doubt: %w", tid, err)
+		}
+	}
+	if err := m.streams[ci].force(); err != nil {
 		return fmt.Errorf("wal: commit %d in doubt: %w", tid, err)
 	}
 	delete(m.att, tid)
@@ -221,11 +236,19 @@ func (m *Manager) Abort(tid uint64) error {
 
 // appendRec assigns the next LSN and buffers the record on its stream.
 func (m *Manager) appendRec(rec Record) uint64 {
+	lsn, _ := m.appendRecOn(rec)
+	return lsn
+}
+
+// appendRecOn is appendRec, additionally reporting which stream the record
+// landed on — selection policies like Cyclic are stateful, so the choice
+// cannot be re-derived after the fact.
+func (m *Manager) appendRecOn(rec Record) (uint64, int) {
 	rec.LSN = m.nextLSN
 	m.nextLSN++
-	s := m.streams[m.sel.pick(rec.Txn, rec.Page)]
-	s.append(rec)
-	return rec.LSN
+	i := m.sel.pick(rec.Txn, rec.Page)
+	m.streams[i].append(rec)
+	return rec.LSN, i
 }
 
 func (m *Manager) forceAll() error {
@@ -367,6 +390,7 @@ func (m *Manager) Recover() error {
 		all = append(all, recs...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].LSN < all[j].LSN })
+	m.scanned = int64(len(all))
 
 	// Analysis: which transactions committed, and which loser updates were
 	// already compensated by a durable CLR?
@@ -464,6 +488,7 @@ func (m *Manager) Stats() map[string]int64 {
 		"steals":     m.steals,
 		"redone":     m.redone,
 		"undone":     m.undone,
+		"scanned":    m.scanned,
 		"recoveries": m.recoveries,
 	}
 	for _, s := range m.streams {

@@ -2,14 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench tables examples fuzz ci clean
+.PHONY: all build vet lint test race cover bench tables examples fuzz ci clean
 .PHONY: crashsweep crashsweep-short
 
 all: build vet lint test
 
 # What .github/workflows/ci.yml runs.
-ci: build vet lint test crashsweep-short
-	$(GO) test -race ./internal/...
+ci: build vet lint test race cover crashsweep-short
 
 # Deterministic crash-injection sweep with recovery audits
 # (see internal/faultinj and docs/FAULTS.md).
@@ -38,6 +37,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Coverage over the recovery kernels (internal/wal, internal/shadoweng,
+# internal/diffeng) and their thread-safe wrapper (internal/engine), as
+# exercised by the kernel, engine, and fault-injection test suites. The
+# merged total is gated at COVER_MIN percent.
+COVER_MIN ?= 85
+COVER_PKGS = ./internal/wal,./internal/shadoweng,./internal/diffeng,./internal/engine
+
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=$(COVER_PKGS) \
+		./internal/wal ./internal/shadoweng ./internal/diffeng \
+		./internal/engine ./internal/faultinj
+	@$(GO) tool cover -func=cover.out | awk -v min=$(COVER_MIN) \
+		'/^total:/ { pct = $$3; sub(/%/, "", pct); \
+		 printf "recovery-kernel coverage: %s (minimum %d%%)\n", $$3, min; \
+		 if (pct + 0 < min) { print "FAIL: coverage below minimum"; exit 1 } }'
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -63,3 +78,4 @@ fuzz:
 
 clean:
 	rm -rf internal/*/testdata/fuzz
+	rm -f cover.out

@@ -8,6 +8,11 @@
 //
 // Merge folds the committed differentials into a new base and truncates
 // A and D, the maintenance operation the paper sizes in Table 11.
+//
+// The Engine is a pure, single-threaded recovery kernel: it contains no
+// locks, goroutines, or channels (simlint rule D004 enforces this), so its
+// behaviour is a deterministic function of the call sequence. Concurrent
+// callers must go through the thread-safe wrapper in internal/engine.
 package diffeng
 
 import (
@@ -15,7 +20,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/pagestore"
 )
@@ -87,10 +91,10 @@ type version struct {
 	data    []byte
 }
 
-// Engine is the differential-file engine. Safe for concurrent use;
-// isolation is the caller's job.
+// Engine is the differential-file engine: a pure kernel, not safe for
+// concurrent use on its own. Isolation and locking are the caller's job
+// (see internal/engine.Guard).
 type Engine struct {
-	mu    sync.Mutex
 	store *pagestore.Store
 
 	nextChunk int64
@@ -117,15 +121,11 @@ func (e *Engine) Name() string { return "difffile" }
 
 // Load writes page p into the read-only base file B.
 func (e *Engine) Load(p int64, data []byte) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return e.store.Write(pagestore.PageID(p), data, 0)
 }
 
 // Begin starts transaction tid.
 func (e *Engine) Begin(tid uint64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, ok := e.att[tid]; ok {
 		return fmt.Errorf("diffeng: transaction %d already active", tid)
 	}
@@ -136,8 +136,6 @@ func (e *Engine) Begin(tid uint64) error {
 // Read resolves page p through (B ∪ A) − D as seen by tid, including its
 // own uncommitted differentials.
 func (e *Engine) Read(tid uint64, p int64) ([]byte, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	// The transaction's own pending entries shadow everything.
 	if pend, ok := e.att[tid]; ok {
 		for i := len(pend) - 1; i >= 0; i-- {
@@ -172,8 +170,6 @@ func (e *Engine) resolveCommitted(p int64) ([]byte, error) {
 // Write replaces page p for tid: the old version's obituary goes to D and
 // the new version to A (buffered until commit).
 func (e *Engine) Write(tid uint64, p int64, data []byte) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	pend, ok := e.att[tid]
 	if !ok {
 		return fmt.Errorf("diffeng: transaction %d not active", tid)
@@ -189,8 +185,6 @@ func (e *Engine) Write(tid uint64, p int64, data []byte) error {
 
 // Delete removes page p from the view for tid (a pure D-file append).
 func (e *Engine) Delete(tid uint64, p int64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	pend, ok := e.att[tid]
 	if !ok {
 		return fmt.Errorf("diffeng: transaction %d not active", tid)
@@ -202,8 +196,6 @@ func (e *Engine) Delete(tid uint64, p int64) error {
 // Commit appends tid's differentials plus a commit marker and forces them.
 // An error leaves the commit in doubt; recovery decides by the marker.
 func (e *Engine) Commit(tid uint64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	pend, ok := e.att[tid]
 	if !ok {
 		return fmt.Errorf("diffeng: transaction %d not active", tid)
@@ -234,8 +226,6 @@ func (e *Engine) applyCommitted(entries []entry) {
 
 // Abort drops tid's buffered differentials; nothing ever reached A or D.
 func (e *Engine) Abort(tid uint64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, ok := e.att[tid]; !ok {
 		return fmt.Errorf("diffeng: transaction %d not active", tid)
 	}
@@ -273,8 +263,6 @@ func (e *Engine) force() error {
 // Crash drops all volatile state (view cache, active transactions, unforced
 // differential tail).
 func (e *Engine) Crash() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.view = nil
 	e.att = nil
 	e.volatile = nil
@@ -283,8 +271,6 @@ func (e *Engine) Crash() {
 // Recover rebuilds the committed view by replaying the stable differential
 // files; only transactions whose commit marker survived are applied.
 func (e *Engine) Recover() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.store.Reset()
 	entries, nextChunk, err := e.readStable()
 	if err != nil {
@@ -337,8 +323,6 @@ func (e *Engine) readStable() ([]entry, int64, error) {
 // truncates A and D. It requires a quiescent engine (no active
 // transactions).
 func (e *Engine) Merge() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if len(e.att) > 0 {
 		return fmt.Errorf("diffeng: merge requires quiescence (%d active transactions)", len(e.att))
 	}
@@ -378,23 +362,17 @@ func (e *Engine) Merge() error {
 
 // ReadCommitted resolves the committed value of page p.
 func (e *Engine) ReadCommitted(p int64) ([]byte, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return e.resolveCommitted(p)
 }
 
 // DiffSize reports the number of live differential entries (the paper's
 // |A|+|D| relative to |B| drives Table 11).
 func (e *Engine) DiffSize() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return len(e.view)
 }
 
 // Stats reports counters.
 func (e *Engine) Stats() map[string]int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return map[string]int64{
 		"adds":     e.adds,
 		"dels":     e.dels,

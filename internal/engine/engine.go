@@ -17,7 +17,10 @@ import (
 
 // RecoveryManager is a functional recovery engine: it stores pages durably,
 // isolates nothing (that is this package's job), and guarantees atomicity
-// and durability across Crash/Recover.
+// and durability across Crash/Recover. Implementations are pure,
+// single-threaded kernels (internal/wal, internal/shadoweng,
+// internal/diffeng); the Engine serializes all access to them through a
+// Guard.
 type RecoveryManager interface {
 	Name() string
 	Load(p int64, data []byte) error
@@ -40,7 +43,7 @@ var ErrDone = errors.New("engine: transaction already finished")
 
 // Engine runs transactions with page-level 2PL over a RecoveryManager.
 type Engine struct {
-	rm      RecoveryManager
+	rm      *Guard
 	locks   *lockmgr.Manager
 	nextTID atomic.Uint64
 
@@ -50,10 +53,17 @@ type Engine struct {
 	deadlocks int64
 }
 
-// New builds an engine over rm.
+// New builds an engine over rm. Pure recovery kernels (which contain no
+// locking of their own) are wrapped in a Guard automatically; passing an
+// existing Guard reuses it.
 func New(rm RecoveryManager) *Engine {
-	return &Engine{rm: rm, locks: lockmgr.New()}
+	return &Engine{rm: NewGuard(rm), locks: lockmgr.New()}
 }
+
+// Guard exposes the engine's thread-safe kernel wrapper, through which
+// maintenance operations (Checkpoint, Merge) and kernel stats can be
+// reached safely while transactions run.
+func (e *Engine) Guard() *Guard { return e.rm }
 
 // Name reports the underlying recovery architecture.
 func (e *Engine) Name() string { return e.rm.Name() }

@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// The recovery kernels (internal/wal, internal/shadoweng, internal/diffeng)
+// are pure and single-threaded by contract — simlint rule D004 bans sync
+// primitives and goroutines inside them. Guard is their concurrency
+// envelope: it serializes every kernel call behind one mutex and counts
+// operations with obs counters, so the concurrent runtime sees exactly the
+// call sequences the single-threaded kernels are proven against.
+
+// Checkpointer is implemented by kernels with a checkpoint maintenance
+// operation (the WAL manager).
+type Checkpointer interface {
+	Checkpoint() error
+}
+
+// Merger is implemented by kernels with a merge maintenance operation (the
+// differential-file engine).
+type Merger interface {
+	Merge() error
+}
+
+// StatsSource is implemented by kernels that report internal counters.
+type StatsSource interface {
+	Stats() map[string]int64
+}
+
+// ErrUnsupported is returned by Guard maintenance methods when the wrapped
+// kernel has no such operation.
+var ErrUnsupported = fmt.Errorf("engine: operation not supported by this recovery kernel")
+
+// Guard wraps a pure recovery kernel, making it safe for concurrent use.
+// All kernel calls — transactional operations and maintenance alike — are
+// serialized behind a single mutex, and per-operation obs counters record
+// the traffic the kernel absorbed.
+type Guard struct {
+	mu sync.Mutex
+	rm RecoveryManager
+
+	reads, writes obs.Counter
+	begins        obs.Counter
+	commits       obs.Counter
+	aborts        obs.Counter
+	recoveries    obs.Counter
+	checkpoints   obs.Counter
+	merges        obs.Counter
+}
+
+// NewGuard wraps kernel rm. Wrapping an already-wrapped kernel returns it
+// unchanged.
+func NewGuard(rm RecoveryManager) *Guard {
+	if g, ok := rm.(*Guard); ok {
+		return g
+	}
+	return &Guard{rm: rm}
+}
+
+// Unwrap returns the pure kernel. Callers may use it only while no other
+// goroutine touches the Guard (single-threaded drivers, quiesced engines).
+func (g *Guard) Unwrap() RecoveryManager { return g.rm }
+
+// Name identifies the wrapped kernel.
+func (g *Guard) Name() string { return g.rm.Name() }
+
+// Load populates page p before transactions run.
+func (g *Guard) Load(p int64, data []byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rm.Load(p, data)
+}
+
+// Begin starts transaction tid.
+func (g *Guard) Begin(tid uint64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.begins.Inc()
+	return g.rm.Begin(tid)
+}
+
+// Read returns page p as seen by tid.
+func (g *Guard) Read(tid uint64, p int64) ([]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.reads.Inc()
+	return g.rm.Read(tid, p)
+}
+
+// Write replaces page p on behalf of tid.
+func (g *Guard) Write(tid uint64, p int64, data []byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.writes.Inc()
+	return g.rm.Write(tid, p, data)
+}
+
+// Commit makes tid durable.
+func (g *Guard) Commit(tid uint64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.commits.Inc()
+	return g.rm.Commit(tid)
+}
+
+// Abort rolls tid back.
+func (g *Guard) Abort(tid uint64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.aborts.Inc()
+	return g.rm.Abort(tid)
+}
+
+// Crash simulates power loss on the kernel.
+func (g *Guard) Crash() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.rm.Crash()
+}
+
+// Recover runs restart recovery on the kernel.
+func (g *Guard) Recover() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.recoveries.Inc()
+	return g.rm.Recover()
+}
+
+// ReadCommitted reads the committed contents of page p.
+func (g *Guard) ReadCommitted(p int64) ([]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rm.ReadCommitted(p)
+}
+
+// Checkpoint runs the kernel's checkpoint maintenance operation under the
+// guard lock, so it is safe to call while transactions run (the fuzzy
+// checkpoint of the WAL kernel). Returns ErrUnsupported for kernels
+// without one.
+func (g *Guard) Checkpoint() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cp, ok := g.rm.(Checkpointer)
+	if !ok {
+		return ErrUnsupported
+	}
+	g.checkpoints.Inc()
+	return cp.Checkpoint()
+}
+
+// Merge runs the kernel's merge maintenance operation under the guard lock
+// (the differential-file fold of Table 11). Returns ErrUnsupported for
+// kernels without one; the kernel itself may also refuse (diffeng requires
+// quiescence).
+func (g *Guard) Merge() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	mg, ok := g.rm.(Merger)
+	if !ok {
+		return ErrUnsupported
+	}
+	g.merges.Inc()
+	return mg.Merge()
+}
+
+// Stats reports the wrapped kernel's counters (empty for kernels without
+// any), taken under the guard lock.
+func (g *Guard) Stats() map[string]int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if ss, ok := g.rm.(StatsSource); ok {
+		return ss.Stats()
+	}
+	return map[string]int64{}
+}
+
+// OpCounts reports the guard's own instrumentation: how many operations of
+// each kind the kernel absorbed since construction.
+func (g *Guard) OpCounts() map[string]int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return map[string]int64{
+		"begins":      g.begins.Value(),
+		"reads":       g.reads.Value(),
+		"writes":      g.writes.Value(),
+		"commits":     g.commits.Value(),
+		"aborts":      g.aborts.Value(),
+		"recoveries":  g.recoveries.Value(),
+		"checkpoints": g.checkpoints.Value(),
+		"merges":      g.merges.Value(),
+	}
+}
+
+// OpCountKeys lists the OpCounts keys in sorted order (for deterministic
+// reporting).
+func (g *Guard) OpCountKeys() []string {
+	counts := g.OpCounts()
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

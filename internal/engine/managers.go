@@ -8,7 +8,8 @@ import (
 )
 
 // walAdapter bridges wal.Manager's pagestore.PageID signatures to the int64
-// RecoveryManager interface.
+// RecoveryManager interface. It also forwards the maintenance surface
+// (Checkpoint, Stats) so the engine's Guard can reach it under its lock.
 type walAdapter struct{ m *wal.Manager }
 
 func (a walAdapter) Name() string                 { return a.m.Name() }
@@ -18,6 +19,8 @@ func (a walAdapter) Commit(tid uint64) error      { return a.m.Commit(tid) }
 func (a walAdapter) Abort(tid uint64) error       { return a.m.Abort(tid) }
 func (a walAdapter) Crash()                       { a.m.Crash() }
 func (a walAdapter) Recover() error               { return a.m.Recover() }
+func (a walAdapter) Checkpoint() error            { return a.m.Checkpoint() }
+func (a walAdapter) Stats() map[string]int64      { return a.m.Stats() }
 func (a walAdapter) Read(tid uint64, p int64) ([]byte, error) {
 	return a.m.Read(tid, pagestore.PageID(p))
 }
@@ -36,6 +39,10 @@ func NewWAL(cfg wal.Config) *Engine {
 }
 
 // NewWALOn is NewWAL over a caller-supplied store (for fault injection).
+// The returned Manager is the pure kernel itself: touch it directly only
+// while the engine is quiescent (reading stats after a run, grabbing
+// LogStore before one); concurrent maintenance must go through
+// Engine.Guard().
 func NewWALOn(store *pagestore.Store, cfg wal.Config) (*Engine, *wal.Manager) {
 	m := wal.NewManager(store, cfg)
 	return New(walAdapter{m}), m

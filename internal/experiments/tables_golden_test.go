@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the all-tables golden fixture")
+
+const allTablesFixture = "testdata/tables_all_txns12_seed1985.md"
+
+// renderAllTables is what `dbmsim -table all -format md -txns 12 -seed 1985`
+// prints: every experiment in IDs() order, rendered as markdown, concatenated.
+func renderAllTables(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, id := range IDs() {
+		tab, err := Run(id, Options{NumTxns: 12, Seed: 1985})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		sb.WriteString(tab.RenderMarkdown())
+	}
+	return sb.String()
+}
+
+// TestAllTablesGolden pins the complete markdown output of every experiment
+// at the quick scale (12 transactions, seed 1985) against a checked-in
+// fixture. The simulator promises byte-identical output for identical
+// seeds, so any diff — a changed metric, a reordered row, a reworded
+// header — must be a deliberate change, landed by rerunning with -update:
+//
+//	go test ./internal/experiments -run AllTablesGolden -update
+func TestAllTablesGolden(t *testing.T) {
+	got := renderAllTables(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(allTablesFixture), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(allTablesFixture, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", allTablesFixture, len(got))
+		return
+	}
+	want, err := os.ReadFile(allTablesFixture)
+	if err != nil {
+		t.Fatalf("%v (generate it with -update)", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Report the first diverging line so drift is diagnosable from CI logs.
+	gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	n := len(gl)
+	if len(wl) < n {
+		n = len(wl)
+	}
+	for i := 0; i < n; i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("output drifted from %s at line %d:\n  got:    %q\n  golden: %q\n%s",
+				allTablesFixture, i+1, gl[i], wl[i], updateHint)
+		}
+	}
+	t.Fatalf("output drifted from %s: got %d lines, golden has %d\n%s",
+		allTablesFixture, len(gl), len(wl), updateHint)
+}
+
+const updateHint = "if the change is deliberate, rerun with -update and commit the new fixture"

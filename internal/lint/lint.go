@@ -17,9 +17,12 @@
 //	      effects (appends that are never sorted, event scheduling,
 //	      writes to io.Writer, obs/trace emission) — iterate a sorted
 //	      key slice instead.
-//	D004  no goroutine launches, channel operations, or select inside
-//	      the simulator kernel (internal/sim, internal/machine, the
-//	      recovery engines) — the kernel is single-threaded by design.
+//	D004  no goroutine launches, channel operations, select, or
+//	      sync/sync-atomic references inside the simulator kernel
+//	      (internal/sim, internal/machine, and the pure recovery kernels
+//	      internal/recovery/..., internal/shadoweng, internal/diffeng,
+//	      internal/wal) — the kernel is single-threaded by design;
+//	      concurrency lives in the wrapper layer (internal/engine.Guard).
 //	D005  no os.Getenv / os.Stdout side channels in internal/
 //	      libraries — configuration comes through machine.Config and
 //	      output through injected io.Writers.
@@ -71,9 +74,11 @@ type RuleInfo struct {
 
 // Rules is the rule table, in ID order. The D004 scope pins the
 // single-threaded simulator kernel: the event engine, the machine model,
-// and every recovery engine built on them. Concurrent runtime-side
-// packages (internal/lockmgr, internal/engine, workload drivers) are
-// deliberately outside it.
+// and every pure recovery kernel built on them — including the functional
+// engines (internal/wal, internal/shadoweng, internal/diffeng), which must
+// stay free of sync primitives. Concurrent runtime-side packages
+// (internal/lockmgr, internal/engine with its Guard wrapper, workload
+// drivers) are deliberately outside it.
 var Rules = []RuleInfo{
 	{
 		ID:    "D001",
@@ -92,13 +97,14 @@ var Rules = []RuleInfo{
 	},
 	{
 		ID:    "D004",
-		Short: "no goroutines, channels, or select in the single-threaded sim kernel",
+		Short: "no goroutines, channels, select, or sync primitives in the single-threaded sim kernel",
 		Scope: []string{
 			"internal/sim",
 			"internal/machine",
 			"internal/recovery/...",
 			"internal/shadoweng",
 			"internal/diffeng",
+			"internal/wal",
 		},
 	},
 	{

@@ -37,6 +37,13 @@ var envFuncs = map[string]bool{
 // channels.
 var osStreams = map[string]bool{"Stdout": true, "Stderr": true, "Stdin": true}
 
+// syncPackages are the concurrency packages D004 bans outright in the
+// kernel scope: any qualified reference (a sync.Mutex field, a
+// sync.WaitGroup value, an atomic.AddUint64 call) is a violation. The pure
+// recovery kernels must carry no concurrency envelope of their own — that
+// is the wrapper layer's job (internal/engine.Guard).
+var syncPackages = map[string]bool{"sync": true, "sync/atomic": true}
+
 // sensitivePrefixes / sensitiveExact classify callee names whose effects
 // are order-sensitive when executed under a map iteration: output
 // emission, event scheduling, stateful mutation of metrics or stores.
@@ -143,6 +150,7 @@ func (c *checker) visit(n ast.Node, stack []ast.Node) {
 		c.checkCall(n)
 	case *ast.SelectorExpr:
 		c.checkStreamRef(n)
+		c.checkSyncRef(n)
 	case *ast.GoStmt:
 		c.kernelViolation(n.Pos(), "goroutine launch (go statement)")
 	case *ast.SendStmt:
@@ -233,6 +241,19 @@ func (c *checker) checkStreamRef(sel *ast.SelectorExpr) {
 	if pkgPath, name, ok := c.pkgQualified(sel); ok && pkgPath == "os" {
 		c.report(sel.Pos(), "D005", fmt.Sprintf(
 			"reference to os.%s is an output side channel: internal packages must write through an injected io.Writer", name))
+	}
+}
+
+// checkSyncRef implements the sync half of D004: any reference into the
+// sync or sync/atomic packages inside the kernel scope is a violation,
+// whether it is a type (a sync.Mutex field), a method-bearing value, or a
+// call (atomic.AddUint64).
+func (c *checker) checkSyncRef(sel *ast.SelectorExpr) {
+	if !c.active["D004"] {
+		return
+	}
+	if pkgPath, name, ok := c.pkgQualified(sel); ok && syncPackages[pkgPath] {
+		c.kernelViolation(sel.Pos(), fmt.Sprintf("use of %s.%s", path.Base(pkgPath), name))
 	}
 }
 

@@ -1,0 +1,41 @@
+// Package fixture exercises the sync half of D004 by posing as a pure
+// recovery kernel, where sync and sync/atomic references are banned: the
+// kernel's concurrency envelope lives in the wrapper layer, never in the
+// kernel itself.
+//
+//simlint:path internal/wal
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Engine smuggles a mutex into a pure kernel: the sync.Mutex field type
+// alone is a violation.
+type Engine struct {
+	mu    sync.Mutex
+	count uint64
+}
+
+// Bump locks around a counter update: the atomic call is a violation.
+func (e *Engine) Bump() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	atomic.AddUint64(&e.count, 1)
+}
+
+// Fanout uses a WaitGroup (type and methods) and a goroutine: both halves
+// of D004 fire.
+func Fanout(fns []func()) {
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		fn := fn
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,26 @@
+// Package fixture shows the boundary of D004's sync ban: the same mutex
+// that is a violation inside a pure kernel is exactly what the thread-safe
+// wrapper layer is for. Posing as internal/engine (the wrapper package),
+// none of this diagnoses.
+//
+//simlint:path internal/engine
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Guard serializes kernel calls; allowed outside the kernel scope.
+type Guard struct {
+	mu  sync.Mutex
+	ops atomic.Int64
+}
+
+// Do runs fn under the guard lock.
+func (g *Guard) Do(fn func()) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ops.Add(1)
+	fn()
+}

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/pagestore"
 )
@@ -89,7 +88,6 @@ func unmarshalIntent(buf []byte) (intent, error) {
 // live at their home locations (block id = logical page id), preserving
 // physical sequentiality — the property the paper builds these variants for.
 type OverwriteEngine struct {
-	mu      sync.Mutex
 	store   *pagestore.Store
 	variant Variant
 
@@ -133,8 +131,6 @@ func (e *OverwriteEngine) Load(p int64, data []byte) error {
 
 // Begin starts transaction tid.
 func (e *OverwriteEngine) Begin(tid uint64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, ok := e.att[tid]; ok {
 		return fmt.Errorf("shadoweng: transaction %d already active", tid)
 	}
@@ -145,8 +141,6 @@ func (e *OverwriteEngine) Begin(tid uint64) error {
 
 // Read returns page p as seen by tid.
 func (e *OverwriteEngine) Read(tid uint64, p int64) ([]byte, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if t, ok := e.att[tid]; ok && e.variant == NoUndo {
 		if d, ok := t.writes[p]; ok {
 			return append([]byte(nil), d...), nil
@@ -167,8 +161,6 @@ func (e *OverwriteEngine) readHome(p int64) ([]byte, error) {
 // no-redo saves the original to the scratch area, records the intention,
 // and updates the page in place.
 func (e *OverwriteEngine) Write(tid uint64, p int64, data []byte) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	t, ok := e.att[tid]
 	if !ok {
 		return fmt.Errorf("shadoweng: transaction %d not active", tid)
@@ -244,8 +236,6 @@ func (e *OverwriteEngine) writeIntent(slot int, tid uint64, pairs [][2]int64) er
 // overwritten in place and the record cleared. No-redo: the in-place writes
 // already happened; deleting the intent record is the commit point.
 func (e *OverwriteEngine) Commit(tid uint64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	t, ok := e.att[tid]
 	if !ok {
 		return fmt.Errorf("shadoweng: transaction %d not active", tid)
@@ -294,8 +284,6 @@ func (e *OverwriteEngine) Commit(tid uint64) error {
 // Abort rolls tid back. No-undo: drop the buffer. No-redo: restore the
 // saved originals and clear the intent record.
 func (e *OverwriteEngine) Abort(tid uint64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	t, ok := e.att[tid]
 	if !ok {
 		return fmt.Errorf("shadoweng: transaction %d not active", tid)
@@ -324,8 +312,6 @@ func (e *OverwriteEngine) Abort(tid uint64) error {
 
 // Crash drops all volatile state.
 func (e *OverwriteEngine) Crash() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.att = nil
 }
 
@@ -333,8 +319,6 @@ func (e *OverwriteEngine) Crash() {
 // No-undo: redo the overwrites of committed transactions. No-redo: restore
 // the originals of uncommitted transactions.
 func (e *OverwriteEngine) Recover() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.store.Reset()
 	for s := 0; s < intentSlots; s++ {
 		buf, _, err := e.store.Read(intentID(s))
@@ -379,15 +363,11 @@ func (e *OverwriteEngine) Recover() error {
 // ReadCommitted reads the committed contents of page p; call when no
 // transaction is active (e.g. after Recover).
 func (e *OverwriteEngine) ReadCommitted(p int64) ([]byte, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return e.readHome(p)
 }
 
 // Stats reports counters.
 func (e *OverwriteEngine) Stats() map[string]int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return map[string]int64{
 		"commits":  e.commits,
 		"aborts":   e.aborts,

@@ -11,13 +11,17 @@
 //     place (recovery redoes unfinished overwrites). No-redo saves the
 //     originals to the scratch area before updating in place (recovery
 //     restores the originals of uncommitted transactions).
+//
+// Every engine here is a pure, single-threaded recovery kernel: no locks,
+// goroutines, or channels (simlint rule D004 enforces this), so behaviour
+// is a deterministic function of the call sequence. Concurrent callers must
+// go through the thread-safe wrapper in internal/engine.
 package shadoweng
 
 import (
 	"encoding/binary"
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/pagestore"
 )
@@ -33,11 +37,10 @@ func ptChunkID(copy int, chunk int) pagestore.PageID {
 	return pagestore.PageID(ptBase - int64(copy)*ptCopyGap - int64(chunk))
 }
 
-// Engine is the canonical shadow-paging engine. Methods are safe for
-// concurrent use; page-level isolation is the caller's job (see
-// internal/engine).
+// Engine is the canonical shadow-paging engine: a pure kernel, not safe
+// for concurrent use on its own. Page-level isolation and locking are the
+// caller's job (see internal/engine).
 type Engine struct {
-	mu    sync.Mutex
 	store *pagestore.Store
 
 	current   map[int64]int64 // logical page -> data block
@@ -71,8 +74,6 @@ func (e *Engine) Name() string { return "shadow(page-table)" }
 
 // Load populates logical page p before transactions run.
 func (e *Engine) Load(p int64, data []byte) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	blk := e.allocBlock()
 	if err := e.store.Write(pagestore.PageID(blk), data, 0); err != nil {
 		return err
@@ -83,8 +84,6 @@ func (e *Engine) Load(p int64, data []byte) error {
 
 // Begin starts transaction tid.
 func (e *Engine) Begin(tid uint64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, ok := e.att[tid]; ok {
 		return fmt.Errorf("shadoweng: transaction %d already active", tid)
 	}
@@ -94,8 +93,6 @@ func (e *Engine) Begin(tid uint64) error {
 
 // Read returns page p as seen by tid (its own writes included).
 func (e *Engine) Read(tid uint64, p int64) ([]byte, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if w, ok := e.att[tid]; ok {
 		if blk, ok := w[p]; ok {
 			data, _, err := e.store.Read(pagestore.PageID(blk))
@@ -117,8 +114,6 @@ func (e *Engine) readCommitted(p int64) ([]byte, error) {
 // Write stores data for page p in a fresh shadow block; the current version
 // is untouched until commit.
 func (e *Engine) Write(tid uint64, p int64, data []byte) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	w, ok := e.att[tid]
 	if !ok {
 		return fmt.Errorf("shadoweng: transaction %d not active", tid)
@@ -134,8 +129,6 @@ func (e *Engine) Write(tid uint64, p int64, data []byte) error {
 // Commit atomically installs tid's writes: the new page table is written to
 // the inactive copy and the root pointer flip is the commit point.
 func (e *Engine) Commit(tid uint64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	w, ok := e.att[tid]
 	if !ok {
 		return fmt.Errorf("shadoweng: transaction %d not active", tid)
@@ -170,8 +163,6 @@ func (e *Engine) Commit(tid uint64) error {
 
 // Abort discards tid's shadow blocks.
 func (e *Engine) Abort(tid uint64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	w, ok := e.att[tid]
 	if !ok {
 		return fmt.Errorf("shadoweng: transaction %d not active", tid)
@@ -269,8 +260,6 @@ func unmarshalTable(buf []byte) (map[int64]int64, int64, error) {
 // Crash simulates power loss: all volatile state (current table cache,
 // active transactions, free list) vanishes.
 func (e *Engine) Crash() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.current = nil
 	e.att = nil
 	e.freeList = nil
@@ -280,8 +269,6 @@ func (e *Engine) Crash() {
 // data blocks (shadow blocks of transactions lost in the crash) are
 // reclaimed onto the free list.
 func (e *Engine) Recover() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.store.Reset()
 	root, gen, err := e.store.Read(rootPage)
 	if err != nil {
@@ -322,15 +309,11 @@ func (e *Engine) Recover() error {
 
 // ReadCommitted reads the committed contents of page p.
 func (e *Engine) ReadCommitted(p int64) ([]byte, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return e.readCommitted(p)
 }
 
 // Stats reports commit/abort counters and table size.
 func (e *Engine) Stats() map[string]int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return map[string]int64{
 		"commits": e.commits,
 		"aborts":  e.aborts,

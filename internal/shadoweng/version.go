@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/pagestore"
 )
@@ -20,7 +19,6 @@ import (
 // The engine pays the architecture's documented price: double the disk
 // space, and both blocks transferred on every read.
 type VersionEngine struct {
-	mu    sync.Mutex
 	store *pagestore.Store
 
 	// committedTS is the highest committed timestamp; versions stamped
@@ -76,15 +74,11 @@ func (e *VersionEngine) writeTS(ts uint64) error {
 
 // Load populates page p before transactions run (timestamp 0 on side 0).
 func (e *VersionEngine) Load(p int64, data []byte) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return e.store.Write(vsBlock(p, 0), data, 0)
 }
 
 // Begin starts transaction tid.
 func (e *VersionEngine) Begin(tid uint64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, ok := e.att[tid]; ok {
 		return fmt.Errorf("shadoweng: transaction %d already active", tid)
 	}
@@ -122,8 +116,6 @@ func (e *VersionEngine) selectVersion(p int64, ownTS uint64) ([]byte, error) {
 
 // Read returns page p as seen by tid.
 func (e *VersionEngine) Read(tid uint64, p int64) ([]byte, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	t, ok := e.att[tid]
 	if !ok {
 		return nil, fmt.Errorf("shadoweng: transaction %d not active", tid)
@@ -134,8 +126,6 @@ func (e *VersionEngine) Read(tid uint64, p int64) ([]byte, error) {
 // Write stores data in the older block of p's pair, stamped with the
 // transaction's tentative timestamp; the current version is untouched.
 func (e *VersionEngine) Write(tid uint64, p int64, data []byte) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	t, ok := e.att[tid]
 	if !ok {
 		return fmt.Errorf("shadoweng: transaction %d not active", tid)
@@ -177,8 +167,6 @@ func (e *VersionEngine) olderSide(p int64, ownTS uint64) int {
 // only when no older uncommitted stamp exists; with 2PL above this engine
 // that is always true.
 func (e *VersionEngine) Commit(tid uint64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	t, ok := e.att[tid]
 	if !ok {
 		return fmt.Errorf("shadoweng: transaction %d not active", tid)
@@ -211,8 +199,6 @@ func (e *VersionEngine) Commit(tid uint64) error {
 // Abort discards tid's tentative blocks so their stamps can never collide
 // with a future committed timestamp.
 func (e *VersionEngine) Abort(tid uint64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	t, ok := e.att[tid]
 	if !ok {
 		return fmt.Errorf("shadoweng: transaction %d not active", tid)
@@ -229,8 +215,6 @@ func (e *VersionEngine) Abort(tid uint64) error {
 
 // Crash drops volatile state.
 func (e *VersionEngine) Crash() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.att = nil
 }
 
@@ -238,8 +222,6 @@ func (e *VersionEngine) Crash() {
 // resolves every page to its newest committed version. Tentative stamps
 // above the horizon are garbage that future writes overwrite.
 func (e *VersionEngine) Recover() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.store.Reset()
 	buf, ts, err := e.store.Read(vsTSPage)
 	if err != nil {
@@ -273,14 +255,10 @@ func (e *VersionEngine) Recover() error {
 
 // ReadCommitted resolves the committed version of page p.
 func (e *VersionEngine) ReadCommitted(p int64) ([]byte, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return e.selectVersion(p, 0)
 }
 
 // Stats reports counters.
 func (e *VersionEngine) Stats() map[string]int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	return map[string]int64{"commits": e.commits, "aborts": e.aborts}
 }

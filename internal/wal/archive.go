@@ -21,8 +21,6 @@ func (m *Manager) Archive() (*ArchiveSnapshot, error) {
 	if err := m.Checkpoint(); err != nil {
 		return nil, err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	snap := &ArchiveSnapshot{
 		store:   pagestore.New(m.data.PageSize()),
 		UpToLSN: m.nextLSN - 1,
@@ -43,8 +41,6 @@ func (m *Manager) Archive() (*ArchiveSnapshot, error) {
 // UnpinArchive releases the log-retention pin of the last Archive; later
 // checkpoints may truncate freely again.
 func (m *Manager) UnpinArchive() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.archiveLSN = 0
 }
 
@@ -62,25 +58,20 @@ func (s *ArchiveSnapshot) Pages() int { return s.store.Pages() }
 // past the snapshot, undo of losers), exactly like crash recovery but
 // starting from the snapshot instead of the damaged disk.
 func (m *Manager) MediaRecover(snap *ArchiveSnapshot) error {
-	m.mu.Lock()
 	for _, id := range m.data.Keys() {
 		if err := m.data.Delete(id); err != nil {
-			m.mu.Unlock()
 			return err
 		}
 	}
 	for _, id := range snap.store.Keys() {
 		data, version, err := snap.store.Read(id)
 		if err != nil {
-			m.mu.Unlock()
 			return err
 		}
 		if err := m.data.Write(id, data, version); err != nil {
-			m.mu.Unlock()
 			return err
 		}
 	}
-	m.mu.Unlock()
 	// Standard restart recovery replays the retained log over the snapshot.
 	return m.Recover()
 }

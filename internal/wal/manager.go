@@ -3,7 +3,6 @@ package wal
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/pagestore"
 )
@@ -47,10 +46,12 @@ type txnState struct {
 }
 
 // Manager is the WAL recovery engine: steal/no-force buffer management over
-// a data page store, with parallel log streams on a log store. All methods
-// are safe for concurrent use.
+// a data page store, with parallel log streams on a log store. The Manager
+// is a pure, single-threaded recovery kernel — no locks, goroutines, or
+// channels (simlint rule D004 enforces this) — so its behaviour is a
+// deterministic function of the call sequence. Concurrent callers must go
+// through the thread-safe wrapper in internal/engine.
 type Manager struct {
-	mu      sync.Mutex
 	cfg     Config
 	data    *pagestore.Store
 	logs    *pagestore.Store
@@ -104,15 +105,11 @@ func (m *Manager) LogStore() *pagestore.Store { return m.logs }
 // Load populates page p with initial data, bypassing logging. Call before
 // running transactions.
 func (m *Manager) Load(p pagestore.PageID, data []byte) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.data.Write(p, data, 0)
 }
 
 // Begin starts transaction tid.
 func (m *Manager) Begin(tid uint64) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if _, ok := m.att[tid]; ok {
 		return fmt.Errorf("wal: transaction %d already active", tid)
 	}
@@ -125,8 +122,6 @@ func (m *Manager) Begin(tid uint64) error {
 // Read returns the current contents of page p as seen by tid (its own
 // uncommitted writes included).
 func (m *Manager) Read(tid uint64, p pagestore.PageID) ([]byte, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	bp, err := m.getPage(p)
 	if err != nil {
 		return nil, err
@@ -138,8 +133,6 @@ func (m *Manager) Read(tid uint64, p pagestore.PageID) ([]byte, error) {
 // before/after image first (the write-ahead protocol: the record is
 // buffered now and forced before the page can reach stable storage).
 func (m *Manager) Write(tid uint64, p pagestore.PageID, data []byte) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	ts := m.att[tid]
 	if ts == nil {
 		return fmt.Errorf("wal: transaction %d not active", tid)
@@ -170,8 +163,6 @@ func (m *Manager) Write(tid uint64, p pagestore.PageID, data []byte) error {
 // is forced. An error means the commit is in doubt (power failed mid-force);
 // recovery decides the outcome.
 func (m *Manager) Commit(tid uint64) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	ts := m.att[tid]
 	if ts == nil {
 		return fmt.Errorf("wal: transaction %d not active", tid)
@@ -203,8 +194,6 @@ func (m *Manager) Commit(tid uint64) error {
 // undoes work that was already rolled back — even if a later transaction
 // committed changes to the same pages.
 func (m *Manager) Abort(tid uint64) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	ts := m.att[tid]
 	if ts == nil {
 		return fmt.Errorf("wal: transaction %d not active", tid)
@@ -318,8 +307,6 @@ func (m *Manager) evictIfFull() error {
 // active transaction's first record (or below the checkpoint itself when
 // the engine is quiescent). Transactions keep running throughout.
 func (m *Manager) Checkpoint() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if err := m.forceAll(); err != nil {
 		return err
 	}
@@ -361,8 +348,6 @@ func (m *Manager) Checkpoint() error {
 // Crash simulates power loss: the buffer pool, active-transaction table and
 // unforced log tails vanish. Stable storage is untouched.
 func (m *Manager) Crash() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.pool = make(map[pagestore.PageID]*bufPage)
 	m.lru = nil
 	m.att = make(map[uint64]*txnState)
@@ -375,8 +360,6 @@ func (m *Manager) Crash() {
 // restored to both stores, the parallel streams are merged by LSN, committed
 // updates are redone and loser updates undone.
 func (m *Manager) Recover() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.data.Reset()
 	m.logs.Reset()
 	m.recoveries++
@@ -470,8 +453,6 @@ func (m *Manager) undoOne(r Record) error {
 // ReadCommitted reads page p's current contents; meaningful once no
 // transaction is active (for example right after Recover).
 func (m *Manager) ReadCommitted(p pagestore.PageID) ([]byte, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	bp, err := m.getPage(p)
 	if err != nil {
 		return nil, err
@@ -482,8 +463,6 @@ func (m *Manager) ReadCommitted(p pagestore.PageID) ([]byte, error) {
 // Stats reports counters: steals (dirty evictions), redo and undo actions,
 // and per-stream record counts.
 func (m *Manager) Stats() map[string]int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	out := map[string]int64{
 		"steals":     m.steals,
 		"redone":     m.redone,

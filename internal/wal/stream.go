@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sync/atomic"
 
 	"repro/internal/pagestore"
 )
@@ -204,7 +203,8 @@ func (sel *selector) pick(txn uint64, page int64) int {
 	}
 	switch sel.policy {
 	case Cyclic:
-		return int(atomic.AddUint64(&sel.cursor, 1) % uint64(sel.n))
+		sel.cursor++
+		return int(sel.cursor % uint64(sel.n))
 	case Random:
 		return sel.rng.Intn(sel.n)
 	case PageMod:

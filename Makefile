@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench tables examples fuzz ci clean
+.PHONY: all build vet lint test race cover bench gobench tables examples fuzz ci clean
 .PHONY: crashsweep crashsweep-short
 
 all: build vet lint test
@@ -16,9 +16,10 @@ crashsweep:
 	$(GO) run ./cmd/crashsweep
 
 # Bounded sweep for CI: every 2nd crash point, fewer machine instants —
-# still several hundred audited points, and it runs in seconds.
+# still several hundred audited points, and it runs in seconds. -jobs 4
+# exercises the parallel fan-out; the report is byte-identical to -jobs 1.
 crashsweep-short:
-	$(GO) run ./cmd/crashsweep -every 2 -machine-points 4
+	$(GO) run ./cmd/crashsweep -every 2 -machine-points 4 -jobs 4
 
 # simlint: the repo's determinism & simulator-invariant analyzer
 # (stdlib-only, built from source; see docs/LINTING.md).
@@ -53,7 +54,15 @@ cover:
 		 printf "recovery-kernel coverage: %s (minimum %d%%)\n", $$3, min; \
 		 if (pct + 0 < min) { print "FAIL: coverage below minimum"; exit 1 } }'
 
+# Runpool scaling benchmark: times table regeneration and the crash sweep
+# at jobs=1 vs jobs=4 (byte-compared) and writes BENCH_runpool.json. The
+# committed file records gomaxprocs — regenerate on a multi-core machine
+# for meaningful speedups.
 bench:
+	$(GO) run ./cmd/dbbench -out BENCH_runpool.json
+
+# Go's own microbenchmarks.
+gobench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every table of the paper (plus the extension studies).

@@ -32,6 +32,8 @@ func main() {
 		"comma-separated recovery engines to sweep (wal-1stream, wal-3streams, shadow, ow-noundo, ow-noredo, verselect, difffile), or \"all\"")
 	every := flag.Int64("every", 1, "crash at every n-th stable mutation")
 	seed := flag.Int64("seed", 1985, "workload seed")
+	jobs := flag.Int("jobs", 0,
+		"worker count for fanning crash points out (0 = GOMAXPROCS); any value produces a byte-identical report")
 	report := flag.String("report", "", "write the report to this file instead of stdout")
 	machinePoints := flag.Int("machine-points", 8,
 		"virtual-time crash instants per performance-simulator model (0 disables the machine sweep)")
@@ -51,7 +53,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := faultinj.Sweep(targets, faultinj.Options{Seed: *seed, Every: *every})
+	rep, err := faultinj.Sweep(targets, faultinj.Options{Seed: *seed, Every: *every, Jobs: *jobs})
 	if err != nil {
 		fatal(err)
 	}
@@ -60,6 +62,7 @@ func main() {
 			Seed:    *seed,
 			Points:  *machinePoints,
 			NumTxns: *machineTxns,
+			Jobs:    *jobs,
 		})
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,199 @@
+// Command dbbench measures how internal/runpool scales the two heavy
+// drivers in this repository — full table regeneration (cmd/dbmsim
+// -table all) and the crash-injection sweep (cmd/crashsweep) — at
+// jobs=1 versus jobs=N, and emits the result as BENCH_runpool.json.
+//
+// Each benchmark also re-verifies the pool's core contract while timing
+// it: the jobs=1 and jobs=N outputs must be byte-identical, or the run
+// fails. Timings are best-of -repeat wall-clock measurements; the JSON
+// records runtime.GOMAXPROCS so a speedup of ~1.0 from a single-core
+// container is distinguishable from a scaling regression. Regenerate
+// with `make bench` on a multi-core machine for meaningful speedups.
+//
+// Usage:
+//
+//	go run ./cmd/dbbench [-jobs 4] [-txns 12] [-every 4] [-out BENCH_runpool.json]
+//
+// dbbench is a benchmark harness, not a simulator: it is the one place
+// in this repository that is *supposed* to read the host clock, so its
+// single wall-clock call site carries a simlint D001 suppression.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/faultinj"
+)
+
+// wallClock is dbbench's only source of time. Everything under
+// internal/... stays on virtual time; measuring how fast the host chews
+// through virtual-time work is exactly this harness's job.
+func wallClock() time.Time {
+	return time.Now() //simlint:ignore D001 dbbench exists to measure host wall-clock; simulators never call this
+}
+
+// A Timing records one benchmark's sequential-versus-parallel result.
+type Timing struct {
+	Name      string  `json:"name"`
+	Jobs1Ms   float64 `json:"jobs1_ms"`
+	JobsNMs   float64 `json:"jobsN_ms"`
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"identical"` // jobs=1 and jobs=N outputs byte-equal
+	Bytes     int     `json:"output_bytes"`
+}
+
+// Result is the BENCH_runpool.json document.
+type Result struct {
+	Benchmark  string   `json:"benchmark"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Jobs       int      `json:"jobs"`
+	Txns       int      `json:"txns"`
+	Seed       int64    `json:"seed"`
+	SweepEvery int64    `json:"sweep_every"`
+	Repeat     int      `json:"repeat"`
+	Timings    []Timing `json:"timings"`
+}
+
+// bench runs f(jobs) repeat times at jobs=1 and jobs=n, keeps the best
+// (minimum) wall-clock time of each, and byte-compares the outputs.
+func bench(name string, repeat, n int, f func(jobs int) ([]byte, error)) (Timing, error) {
+	best := func(jobs int) ([]byte, float64, error) {
+		var out []byte
+		min := -1.0
+		for r := 0; r < repeat; r++ {
+			start := wallClock()
+			b, err := f(jobs)
+			if err != nil {
+				return nil, 0, fmt.Errorf("%s at jobs=%d: %w", name, jobs, err)
+			}
+			ms := float64(wallClock().Sub(start)) / float64(time.Millisecond)
+			if min < 0 || ms < min {
+				min = ms
+			}
+			out = b
+		}
+		return out, min, nil
+	}
+	seq, seqMs, err := best(1)
+	if err != nil {
+		return Timing{}, err
+	}
+	par, parMs, err := best(n)
+	if err != nil {
+		return Timing{}, err
+	}
+	t := Timing{
+		Name:      name,
+		Jobs1Ms:   seqMs,
+		JobsNMs:   parMs,
+		Speedup:   seqMs / parMs,
+		Identical: bytes.Equal(seq, par),
+		Bytes:     len(seq),
+	}
+	if !t.Identical {
+		return t, fmt.Errorf("%s: jobs=1 and jobs=%d outputs differ — runpool determinism violated", name, n)
+	}
+	return t, nil
+}
+
+func benchTables(txns int, seed int64) func(jobs int) ([]byte, error) {
+	return func(jobs int) ([]byte, error) {
+		opt := experiments.Options{NumTxns: txns, Seed: seed, Jobs: jobs}
+		tabs, err := experiments.RunAll(experiments.IDs(), opt)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		for _, tab := range tabs {
+			buf.WriteString(tab.Render())
+			buf.WriteByte('\n')
+		}
+		return buf.Bytes(), nil
+	}
+}
+
+func benchSweep(seed, every int64, machinePoints, machineTxns int) func(jobs int) ([]byte, error) {
+	return func(jobs int) ([]byte, error) {
+		rep, err := faultinj.Sweep(faultinj.Targets(),
+			faultinj.Options{Seed: seed, Every: every, Jobs: jobs})
+		if err != nil {
+			return nil, err
+		}
+		rep.Machines, err = faultinj.SweepMachines(faultinj.MachineOptions{
+			Seed:    seed,
+			Points:  machinePoints,
+			NumTxns: machineTxns,
+			Jobs:    jobs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := rep.Render(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+}
+
+func main() {
+	jobs := flag.Int("jobs", 4, "parallel worker count to compare against jobs=1")
+	txns := flag.Int("txns", 12, "transactions per simulation for the table benchmark")
+	seed := flag.Int64("seed", 1985, "base random seed")
+	every := flag.Int64("every", 4, "crash-point stride for the sweep benchmark")
+	machinePoints := flag.Int("machine-points", 4, "virtual-time crash instants per model in the sweep benchmark")
+	machineTxns := flag.Int("machine-txns", 6, "transactions per machine run in the sweep benchmark")
+	repeat := flag.Int("repeat", 3, "measurements per configuration; best (minimum) time wins")
+	out := flag.String("out", "", "write the JSON result to this file instead of stdout")
+	flag.Parse()
+
+	res := Result{
+		Benchmark:  "runpool",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Jobs:       *jobs,
+		Txns:       *txns,
+		Seed:       *seed,
+		SweepEvery: *every,
+		Repeat:     *repeat,
+	}
+	runs := []struct {
+		name string
+		f    func(jobs int) ([]byte, error)
+	}{
+		{"tables_all", benchTables(*txns, *seed)},
+		{"crashsweep", benchSweep(*seed, *every, *machinePoints, *machineTxns)},
+	}
+	for _, r := range runs {
+		t, err := bench(r.name, *repeat, *jobs, r.f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbbench:", err)
+			os.Exit(1)
+		}
+		res.Timings = append(res.Timings, t)
+		fmt.Fprintf(os.Stderr, "dbbench: %-11s jobs=1 %8.1fms  jobs=%d %8.1fms  speedup %.2fx  (%d bytes, identical)\n",
+			r.name, t.Jobs1Ms, *jobs, t.JobsNMs, t.Speedup, t.Bytes)
+	}
+
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbbench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "dbbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dbbench: wrote %s\n", *out)
+}

@@ -22,7 +22,9 @@ import (
 func main() {
 	table := flag.String("table", "all", `experiment to run: 1..12, an extension id (see -list), or "all"`)
 	txns := flag.Int("txns", 0, "transactions per simulation (0 = paper-scale default)")
-	seed := flag.Int64("seed", 0, "base random seed (0 = default)")
+	seed := flag.Int64("seed", 0, "base random seed (0 = default; pass -seed 0 explicitly for a true zero seed)")
+	jobs := flag.Int("jobs", 0,
+		"worker count for fanning tables and their simulation cells out (0 = GOMAXPROCS); any value produces byte-identical tables")
 	format := flag.String("format", "text", `output format: "text" or "md"`)
 	profile := flag.String("profile", "", `instead of a table, profile one run: machine config ("conv-random", "par-random", "conv-seq", "par-seq")`)
 	recovery := flag.String("recovery", "bare", "recovery architecture for -profile")
@@ -50,7 +52,17 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{NumTxns: *txns, Seed: *seed}
+	opt := experiments.Options{NumTxns: *txns, Seed: *seed, Jobs: *jobs}
+	// A flag passed explicitly means exactly what it says — "-seed 0" and
+	// "-txns 0" are real zeros, not the use-the-default sentinel.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			opt.SeedSet = true
+		case "txns":
+			opt.NumTxnsSet = true
+		}
+	})
 	ids := experiments.IDs()
 	if *table != "all" {
 		id := *table
@@ -59,12 +71,12 @@ func main() {
 		}
 		ids = []string{id}
 	}
-	for _, id := range ids {
-		tab, err := experiments.Run(id, opt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dbmsim: %s: %v\n", id, err)
-			os.Exit(1)
-		}
+	tabs, err := experiments.RunAll(ids, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dbmsim: %v\n", err)
+		os.Exit(1)
+	}
+	for _, tab := range tabs {
 		if *format == "md" {
 			fmt.Print(tab.RenderMarkdown())
 		} else {

@@ -242,8 +242,9 @@ func TestParallelBeatsConventionalOnSequentialProperty(t *testing.T) {
 	// conventional disk.
 	f := func(nRaw uint8) bool {
 		n := int(nRaw%47) + 1
-		run := func(dev Device) sim.Time {
-			e := devEngine(dev)
+		// Each device is paired with its own engine locally — no shared
+		// lookup table, so property iterations are fully independent.
+		run := func(e *sim.Engine, dev Device) sim.Time {
 			for i := 0; i < n; i++ {
 				dev.Submit(&Request{Pages: []int{i}})
 			}
@@ -252,25 +253,16 @@ func TestParallelBeatsConventionalOnSequentialProperty(t *testing.T) {
 		}
 		e1 := sim.New()
 		conv := NewConventional(e1, "c", testGeom(), testParams())
-		engines[conv] = e1
 		e2 := sim.New()
 		par := NewParallel(e2, "p", testGeom(), testParams())
-		engines[par] = e2
-		tc := run(conv)
-		tp := run(par)
-		delete(engines, conv)
-		delete(engines, par)
+		tc := run(e1, conv)
+		tp := run(e2, par)
 		return tp <= tc
 	}
 	if err := quick.Check(f, quickCfg()); err != nil {
 		t.Fatal(err)
 	}
 }
-
-// engines lets the property test run devices generically.
-var engines = map[Device]*sim.Engine{}
-
-func devEngine(d Device) *sim.Engine { return engines[d] }
 
 func quickCfg() *quick.Config {
 	return &quick.Config{MaxCount: 50}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/pagestore"
 	"repro/internal/recovery/logging"
+	"repro/internal/runpool"
 	"repro/internal/shadoweng"
 	"repro/internal/wal"
 )
@@ -36,19 +37,21 @@ func WriteFracSweep(opt Options) (*Table, error) {
 		Columns: []string{"Configuration", "10% e/p", "20% e/p", "40% e/p", "40% log util"},
 		Notes:   "more updates mean more write-backs and more log traffic; the paper's 20% keeps the log disk nearly idle",
 	}
-	for _, c := range fourConfigs {
+	fracs := []float64{0.10, 0.20, 0.40}
+	res, err := runCells(opt, len(fourConfigs)*len(fracs), func(i int) (machine.Config, machine.Model) {
+		cfg := fourConfigs[i/len(fracs)].config(opt)
+		cfg.Workload.WriteFrac = fracs[i%len(fracs)]
+		return cfg, logging.New(logging.Config{})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range fourConfigs {
 		row := []string{c.Name}
-		var lastUtil float64
-		for _, frac := range []float64{0.10, 0.20, 0.40} {
-			cfg := c.config(opt)
-			cfg.Workload.WriteFrac = frac
-			res, err := machine.Run(cfg, logging.New(logging.Config{}))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, ms(res.ExecPerPageMs))
-			lastUtil = res.Extra["log.diskUtil"]
+		for fi := range fracs {
+			row = append(row, ms(res[ci*len(fracs)+fi].ExecPerPageMs))
 		}
+		lastUtil := res[ci*len(fracs)+len(fracs)-1].Extra["log.diskUtil"]
 		row = append(row, fmt.Sprintf("%.2f", lastUtil))
 		t.Rows = append(t.Rows, row)
 	}
@@ -65,16 +68,19 @@ func MPLSweep(opt Options) (*Table, error) {
 		Columns: []string{"Configuration", "MPL=1", "MPL=2", "MPL=3", "MPL=4", "MPL=6"},
 		Notes:   "exec time per page; MPL=3 reproduces the paper's completion times",
 	}
-	for _, c := range fourConfigs {
+	mpls := []int{1, 2, 3, 4, 6}
+	res, err := runCells(opt, len(fourConfigs)*len(mpls), func(i int) (machine.Config, machine.Model) {
+		cfg := fourConfigs[i/len(mpls)].config(opt)
+		cfg.MPL = mpls[i%len(mpls)]
+		return cfg, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range fourConfigs {
 		row := []string{c.Name}
-		for _, mpl := range []int{1, 2, 3, 4, 6} {
-			cfg := c.config(opt)
-			cfg.MPL = mpl
-			res, err := machine.Run(cfg, nil)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, ms(res.ExecPerPageMs))
+		for mi := range mpls {
+			row = append(row, ms(res[ci*len(mpls)+mi].ExecPerPageMs))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -89,16 +95,19 @@ func FrameSweep(opt Options) (*Table, error) {
 		Columns: []string{"Configuration", "50 frames", "100 frames", "200 frames"},
 		Notes:   "the parallel-sequential configuration is the most cache-hungry",
 	}
-	for _, c := range fourConfigs {
+	frames := []int{50, 100, 200}
+	res, err := runCells(opt, len(fourConfigs)*len(frames), func(i int) (machine.Config, machine.Model) {
+		cfg := fourConfigs[i/len(frames)].config(opt)
+		cfg.CacheFrames = frames[i%len(frames)]
+		return cfg, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range fourConfigs {
 		row := []string{c.Name}
-		for _, frames := range []int{50, 100, 200} {
-			cfg := c.config(opt)
-			cfg.CacheFrames = frames
-			res, err := machine.Run(cfg, nil)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, ms(res.ExecPerPageMs))
+		for fi := range frames {
+			row = append(row, ms(res[ci*len(frames)+fi].ExecPerPageMs))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -114,14 +123,18 @@ func FragmentSweep(opt Options) (*Table, error) {
 		Columns: []string{"Configuration", "200 B util", "400 B util", "1024 B util", "4096 B util"},
 		Notes:   "log-disk utilization grows with fragment size; even page-size fragments stay modest except on parallel-sequential",
 	}
-	for _, c := range fourConfigs {
+	frags := []int{200, 400, 1024, 4096}
+	res, err := runCells(opt, len(fourConfigs)*len(frags), func(i int) (machine.Config, machine.Model) {
+		return fourConfigs[i/len(frags)].config(opt),
+			logging.New(logging.Config{FragmentBytes: frags[i%len(frags)]})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range fourConfigs {
 		row := []string{c.Name}
-		for _, frag := range []int{200, 400, 1024, 4096} {
-			res, err := machine.Run(c.config(opt), logging.New(logging.Config{FragmentBytes: frag}))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, ratio(res.Extra["log.diskUtil"]))
+		for fi := range frags {
+			row = append(row, ratio(res[ci*len(frags)+fi].Extra["log.diskUtil"]))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -139,18 +152,23 @@ func SkewSweep(opt Options) (*Table, error) {
 		Notes: "skew 0 is the paper's uniform-random workload; hot spots shorten seeks " +
 			"(faster pages) but multiply lock conflicts",
 	}
-	for _, skew := range []float64{0, 1.2, 2.0} {
+	skews := []float64{0, 1.2, 2.0}
+	// Cell i is skew i/2 run bare (even) or logged (odd).
+	res, err := runCells(opt, len(skews)*2, func(i int) (machine.Config, machine.Model) {
 		cfg := machine.DefaultConfig()
-		cfg.Workload.Skew = skew
+		cfg.Workload.Skew = skews[i/2]
 		cfg = opt.apply(cfg)
-		bare, err := machine.Run(cfg, nil)
-		if err != nil {
-			return nil, err
+		var mdl machine.Model
+		if i%2 == 1 {
+			mdl = logging.New(logging.Config{})
 		}
-		logged, err := machine.Run(cfg, logging.New(logging.Config{}))
-		if err != nil {
-			return nil, err
-		}
+		return cfg, mdl
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, skew := range skews {
+		bare, logged := res[si*2], res[si*2+1]
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.1f", skew),
 			ms(bare.ExecPerPageMs), ms(logged.ExecPerPageMs),
@@ -174,7 +192,7 @@ func FuncRecovery(opt Options) (*Table, error) {
 			"logging optimizes the normal case and pays at restart; shadow variants restart almost for free",
 	}
 	n := opt.NumTxns
-	if n == 0 {
+	if n == 0 && !opt.NumTxnsSet {
 		n = 200
 	}
 	type build struct {
@@ -218,7 +236,10 @@ func FuncRecovery(opt Options) (*Table, error) {
 			}, nil
 		}},
 	}
-	for _, b := range builds {
+	// Each build owns a private engine and store; the builds are
+	// shared-nothing, so they fan out like the simulator cells do.
+	rows, err := runpool.Map(opt.Jobs, len(builds), func(bi int) ([]string, error) {
+		b := builds[bi]
 		e, stats, err := b.mk()
 		if err != nil {
 			return nil, err
@@ -241,13 +262,17 @@ func FuncRecovery(opt Options) (*Table, error) {
 			return nil, err
 		}
 		scanned, redo, undo := stats()
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			b.name,
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%d", scanned),
 			fmt.Sprintf("%d", redo),
 			fmt.Sprintf("%d", undo),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }

@@ -38,17 +38,20 @@ func AbortCost(opt Options) (*Table, error) {
 		{"overwrite no-redo", func() machine.Model { return shadow.NewOverwrite(shadow.Config{}, false) }},
 		{"differential files", func() machine.Model { return difffile.New(difffile.Config{}) }},
 	}
-	for _, m := range models {
+	fracs := []float64{0, 0.2, 0.5}
+	res, err := runCells(opt, len(models)*len(fracs), func(i int) (machine.Config, machine.Model) {
+		cfg := machine.DefaultConfig()
+		cfg.AbortFrac = fracs[i%len(fracs)]
+		cfg = opt.apply(cfg)
+		return cfg, models[i/len(fracs)].mk()
+	})
+	if err != nil {
+		return nil, fmt.Errorf("abortcost: %w", err)
+	}
+	for mi, m := range models {
 		row := []string{m.name}
-		for _, frac := range []float64{0, 0.2, 0.5} {
-			cfg := machine.DefaultConfig()
-			cfg.AbortFrac = frac
-			cfg = opt.apply(cfg)
-			res, err := machine.Run(cfg, m.mk())
-			if err != nil {
-				return nil, fmt.Errorf("%s at %.0f%%: %w", m.name, frac*100, err)
-			}
-			row = append(row, ms(res.ExecPerPageMs))
+		for fi := range fracs {
+			row = append(row, ms(res[mi*len(fracs)+fi].ExecPerPageMs))
 		}
 		t.Rows = append(t.Rows, row)
 	}

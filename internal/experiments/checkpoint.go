@@ -6,6 +6,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/machine"
 	"repro/internal/recovery/logging"
+	"repro/internal/runpool"
 	"repro/internal/sim"
 )
 
@@ -36,25 +37,22 @@ func CheckpointSweep(opt Options) (*Table, error) {
 		{"2 s", 2 * sim.Second},
 		{"0.5 s", sim.Second / 2},
 	}
-	for _, iv := range intervals {
-		row := []string{iv.name}
-		var execs, compls []string
-		for _, quiesce := range []bool{false, true} {
-			cfg := machine.DefaultConfig()
-			cfg = opt.apply(cfg)
-			res, err := machine.Run(cfg, logging.New(logging.Config{
-				CheckpointEvery:     iv.every,
-				QuiescingCheckpoint: quiesce,
-			}))
-			if err != nil {
-				return nil, err
-			}
-			execs = append(execs, ms(res.ExecPerPageMs))
-			compls = append(compls, ms(res.MeanCompletionMs))
-		}
-		row = append(row, execs...)
-		row = append(row, compls...)
-		t.Rows = append(t.Rows, row)
+	// Cell i is interval i/2, parallel (even) or quiescing (odd) checkpoints.
+	res, err := runCells(opt, len(intervals)*2, func(i int) (machine.Config, machine.Model) {
+		cfg := opt.apply(machine.DefaultConfig())
+		return cfg, logging.New(logging.Config{
+			CheckpointEvery:     intervals[i/2].every,
+			QuiescingCheckpoint: i%2 == 1,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ii, iv := range intervals {
+		par, qui := res[ii*2], res[ii*2+1]
+		t.Rows = append(t.Rows, []string{iv.name,
+			ms(par.ExecPerPageMs), ms(qui.ExecPerPageMs),
+			ms(par.MeanCompletionMs), ms(qui.MeanCompletionMs)})
 	}
 	return t, nil
 }
@@ -72,7 +70,10 @@ func SystemRecovery(opt Options) (*Table, error) {
 		Notes: "physical logging after the Table 3 workload; log disks are scanned in " +
 			"parallel and never merged into one physical log",
 	}
-	for n := 1; n <= 5; n++ {
+	// Each row is an independent workload-plus-restart simulation pair with
+	// its own engines, so rows fan out as whole jobs.
+	rows, err := runpool.Map(opt.Jobs, 5, func(row int) ([]string, error) {
+		n := row + 1
 		// First run the workload to learn how much log each disk holds.
 		res, err := machine.Run(table3Config(opt), logging.New(logging.Config{
 			Mode:          logging.Physical,
@@ -125,12 +126,16 @@ func SystemRecovery(opt Options) (*Table, error) {
 			readNext(0)
 		}
 		eng.Run()
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprintf("%d", n),
 			fmt.Sprintf("%d", logPages),
 			fmt.Sprintf("%d", int(res.Extra["log.frags"])),
 			ms(eng.Now().ToMs()),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }

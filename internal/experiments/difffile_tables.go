@@ -23,26 +23,50 @@ func Table9(opt Options) (*Table, error) {
 			{"Parallel-Sequential", "1.9", "37.6", "13.9", "758.1", "11368.8", "4573.5"},
 		},
 	}
-	for _, c := range fourConfigs {
-		cfg := c.config(opt)
-		bare, err := machine.Run(cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		basic, err := machine.Run(cfg, difffile.New(difffile.Config{Strategy: difffile.Basic}))
-		if err != nil {
-			return nil, err
-		}
-		optimal, err := machine.Run(cfg, difffile.New(difffile.Config{Strategy: difffile.Optimal}))
-		if err != nil {
-			return nil, err
-		}
+	models := []func() machine.Model{
+		func() machine.Model { return nil },
+		func() machine.Model { return difffile.New(difffile.Config{Strategy: difffile.Basic}) },
+		func() machine.Model { return difffile.New(difffile.Config{Strategy: difffile.Optimal}) },
+	}
+	res, err := runCells(opt, len(fourConfigs)*len(models), func(i int) (machine.Config, machine.Model) {
+		return fourConfigs[i/len(models)].config(opt), models[i%len(models)]()
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range fourConfigs {
+		bare, basic, optimal := res[ci*3], res[ci*3+1], res[ci*3+2]
 		t.Rows = append(t.Rows, []string{c.Name,
 			ms(bare.ExecPerPageMs), ms(basic.ExecPerPageMs), ms(optimal.ExecPerPageMs),
 			ms(bare.MeanCompletionMs), ms(basic.MeanCompletionMs), ms(optimal.MeanCompletionMs)})
 	}
 	t.Notes = "the basic strategy is CPU bound and flat across configurations"
 	return t, nil
+}
+
+// fracSweep builds the shared shape of Tables 10 and 11: per configuration,
+// a bare run followed by one differential-file run per fraction.
+func fracSweep(opt Options, fracs []float64, mk func(frac float64) machine.Model) ([][]string, error) {
+	perCfg := 1 + len(fracs)
+	res, err := runCells(opt, len(fourConfigs)*perCfg, func(i int) (machine.Config, machine.Model) {
+		cfg := fourConfigs[i/perCfg].config(opt)
+		if j := i % perCfg; j > 0 {
+			return cfg, mk(fracs[j-1])
+		}
+		return cfg, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for ci, c := range fourConfigs {
+		row := []string{c.Name}
+		for j := 0; j < perCfg; j++ {
+			row = append(row, ms(res[ci*perCfg+j].ExecPerPageMs))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 // Table10 reproduces "Effect of Output Fraction on Execution Time per Page".
@@ -58,22 +82,13 @@ func Table10(opt Options) (*Table, error) {
 			{"Parallel-Sequential", "1.9", "13.9", "13.9", "13.6"},
 		},
 	}
-	for _, c := range fourConfigs {
-		cfg := c.config(opt)
-		bare, err := machine.Run(cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		row := []string{c.Name, ms(bare.ExecPerPageMs)}
-		for _, frac := range []float64{0.10, 0.20, 0.50} {
-			res, err := machine.Run(cfg, difffile.New(difffile.Config{OutputFrac: frac}))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, ms(res.ExecPerPageMs))
-		}
-		t.Rows = append(t.Rows, row)
+	rows, err := fracSweep(opt, []float64{0.10, 0.20, 0.50}, func(frac float64) machine.Model {
+		return difffile.New(difffile.Config{OutputFrac: frac})
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = "output pages grow sublinearly with the fraction due to per-transaction fragmentation"
 	return t, nil
 }
@@ -92,22 +107,13 @@ func Table11(opt Options) (*Table, error) {
 			{"Parallel-Sequential", "1.9", "13.9", "23.5", "36.4"},
 		},
 	}
-	for _, c := range fourConfigs {
-		cfg := c.config(opt)
-		bare, err := machine.Run(cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		row := []string{c.Name, ms(bare.ExecPerPageMs)}
-		for _, frac := range []float64{0.10, 0.15, 0.20} {
-			res, err := machine.Run(cfg, difffile.New(difffile.Config{DiffFrac: frac}))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, ms(res.ExecPerPageMs))
-		}
-		t.Rows = append(t.Rows, row)
+	rows, err := fracSweep(opt, []float64{0.10, 0.15, 0.20}, func(frac float64) machine.Model {
+		return difffile.New(difffile.Config{DiffFrac: frac})
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = "degradation grows nonlinearly with differential file size"
 	return t, nil
 }
@@ -126,25 +132,26 @@ func Table12(opt Options) (*Table, error) {
 			{"Parallel-Sequential", "1.9", "2.0", "1.9", "1.9", "1.9", "18.5", "2.3", "13.9"},
 		},
 	}
-	for _, c := range fourConfigs {
-		cfg := c.config(opt)
-		models := []machine.Model{
-			nil,
-			logging.New(logging.Config{}),
-			shadow.NewPageTable(shadow.Config{BufferPages: 10}),
-			shadow.NewPageTable(shadow.Config{BufferPages: 50}),
-			shadow.NewPageTable(shadow.Config{PageTableProcessors: 2}),
-			shadow.NewPageTable(shadow.Config{Scrambled: true}),
-			shadow.NewOverwrite(shadow.Config{}, true),
-			difffile.New(difffile.Config{}),
-		}
+	models := []func() machine.Model{
+		func() machine.Model { return nil },
+		func() machine.Model { return logging.New(logging.Config{}) },
+		func() machine.Model { return shadow.NewPageTable(shadow.Config{BufferPages: 10}) },
+		func() machine.Model { return shadow.NewPageTable(shadow.Config{BufferPages: 50}) },
+		func() machine.Model { return shadow.NewPageTable(shadow.Config{PageTableProcessors: 2}) },
+		func() machine.Model { return shadow.NewPageTable(shadow.Config{Scrambled: true}) },
+		func() machine.Model { return shadow.NewOverwrite(shadow.Config{}, true) },
+		func() machine.Model { return difffile.New(difffile.Config{}) },
+	}
+	res, err := runCells(opt, len(fourConfigs)*len(models), func(i int) (machine.Config, machine.Model) {
+		return fourConfigs[i/len(models)].config(opt), models[i%len(models)]()
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range fourConfigs {
 		row := []string{c.Name}
-		for _, mdl := range models {
-			res, err := machine.Run(cfg, mdl)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, ms(res.ExecPerPageMs))
+		for j := range models {
+			row = append(row, ms(res[ci*len(models)+j].ExecPerPageMs))
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -11,24 +11,65 @@ import (
 	"strings"
 
 	"repro/internal/machine"
+	"repro/internal/runpool"
 )
 
 // Options tune an experiment run.
+//
+// The zero value keeps the historical sentinel behavior: NumTxns == 0 and
+// Seed == 0 mean "use the machine.DefaultConfig value" (the full 40
+// transactions, seed 1985). To actually request zero — a zero seed, or a
+// run with no transactions — set the matching *Set flag, or start from
+// DefaultOptions and override.
 type Options struct {
-	// NumTxns is the transaction count per simulation (0 = the full 40).
+	// NumTxns is the transaction count per simulation. Zero is the
+	// use-the-default sentinel unless NumTxnsSet marks it explicit.
 	NumTxns int
-	// Seed is the base random seed (0 = the default 1985).
+	// NumTxnsSet marks NumTxns as explicit, making NumTxns == 0 expressible.
+	NumTxnsSet bool
+	// Seed is the base random seed. Zero is the use-the-default sentinel
+	// unless SeedSet marks it explicit.
 	Seed int64
+	// SeedSet marks Seed as explicit, making Seed == 0 expressible.
+	SeedSet bool
+	// Jobs is the worker count for fanning a table's independent simulation
+	// cells out through internal/runpool (< 1 = GOMAXPROCS). Every cell owns
+	// its own seeded engine and results are collected in submission order,
+	// so any value renders byte-identical tables.
+	Jobs int
+}
+
+// DefaultOptions returns the experiment defaults fully resolved and marked
+// explicit: machine.DefaultConfig's paper-scale transaction count and seed.
+// Unlike the zero Options value, overriding a field of DefaultOptions to
+// zero means zero.
+func DefaultOptions() Options {
+	cfg := machine.DefaultConfig()
+	return Options{
+		NumTxns: cfg.NumTxns, NumTxnsSet: true,
+		Seed: cfg.Seed, SeedSet: true,
+	}
 }
 
 func (o Options) apply(cfg machine.Config) machine.Config {
-	if o.NumTxns > 0 {
+	if o.NumTxnsSet || o.NumTxns > 0 {
 		cfg.NumTxns = o.NumTxns
 	}
-	if o.Seed != 0 {
+	if o.SeedSet || o.Seed != 0 {
 		cfg.Seed = o.Seed
 	}
 	return cfg
+}
+
+// runCells executes n independent machine simulations through the run pool
+// and returns the results in cell order. Cell i is described by mk(i),
+// which must build a fresh Config and Model (models carry per-run state);
+// mk runs on pool workers, so it must not touch shared mutable state.
+func runCells(opt Options, n int, mk func(i int) (machine.Config, machine.Model)) ([]*machine.Result, error) {
+	return runpool.Map(opt.Jobs, n, func(i int) (*machine.Result, error) {
+		cfg, mdl := mk(i)
+		return machine.Run(cfg, mdl)
+	})
 }
 
 // Table is one regenerated evaluation table.
@@ -81,13 +122,18 @@ func (t *Table) RenderMarkdown() string {
 }
 
 func renderGrid(cols []string, rows [][]string) string {
+	// widths covers the widest row, not just the header, so a ragged row
+	// with more cells than columns renders instead of indexing out of range.
 	widths := make([]int, len(cols))
 	for i, c := range cols {
 		widths[i] = len(c)
 	}
 	for _, r := range rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			for i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -164,6 +210,21 @@ func Run(id string, opt Options) (*Table, error) {
 			id, strings.Join(IDs(), ", "))
 	}
 	return r(opt)
+}
+
+// RunAll executes every experiment named in ids through the run pool,
+// fanning whole tables out across workers (each table additionally fans its
+// own cells out, so small tables cannot serialize the batch). Tables come
+// back in ids order; the first failing table (lowest index) reports the
+// error.
+func RunAll(ids []string, opt Options) ([]*Table, error) {
+	return runpool.Map(opt.Jobs, len(ids), func(i int) (*Table, error) {
+		tab, err := Run(ids[i], opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ids[i], err)
+		}
+		return tab, nil
+	})
 }
 
 // IDs lists the registered experiment IDs in a stable order.

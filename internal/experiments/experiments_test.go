@@ -305,6 +305,33 @@ func TestRenderIncludesPaperValues(t *testing.T) {
 	}
 }
 
+// TestRenderRaggedRow is the regression test for the renderGrid
+// index-out-of-range panic: a row with more cells than the header used to
+// crash line()'s widths[i] lookup. Extra cells must render, not panic.
+func TestRenderRaggedRow(t *testing.T) {
+	tab := &Table{
+		ID:      "ragged",
+		Title:   "Ragged",
+		Columns: []string{"Row", "A"},
+		Rows: [][]string{
+			{"r1", "1.0"},
+			{"r2", "2.0", "overflow", "wide-cell-beyond-header"},
+		},
+	}
+	out := tab.Render()
+	for _, want := range []string{"overflow", "wide-cell-beyond-header", "1.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ragged render lost %q:\n%s", want, out)
+		}
+	}
+	// The paper block takes the same code path; a ragged Paper row must not
+	// panic either.
+	tab.Paper = [][]string{{"r1", "2.0", "extra", "cells", "here"}}
+	if out := tab.Render(); !strings.Contains(out, "cells") {
+		t.Fatalf("ragged paper render lost cells:\n%s", out)
+	}
+}
+
 func TestRenderMarkdown(t *testing.T) {
 	tab := &Table{
 		ID:      "tablex",

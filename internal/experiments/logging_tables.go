@@ -22,16 +22,19 @@ func Table1(opt Options) (*Table, error) {
 			{"Parallel-Sequential", "1.9", "2.0", "758.1", "862.2"},
 		},
 	}
-	for _, c := range fourConfigs {
-		cfg := c.config(opt)
-		bare, err := machine.Run(cfg, nil)
-		if err != nil {
-			return nil, err
+	// Cell i is configuration i/2, bare (even) or logged (odd).
+	res, err := runCells(opt, len(fourConfigs)*2, func(i int) (machine.Config, machine.Model) {
+		var mdl machine.Model
+		if i%2 == 1 {
+			mdl = logging.New(logging.Config{})
 		}
-		logged, err := machine.Run(cfg, logging.New(logging.Config{}))
-		if err != nil {
-			return nil, err
-		}
+		return fourConfigs[i/2].config(opt), mdl
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range fourConfigs {
+		bare, logged := res[ci*2], res[ci*2+1]
 		t.Rows = append(t.Rows, []string{
 			c.Name,
 			ms(bare.ExecPerPageMs), ms(logged.ExecPerPageMs),
@@ -56,12 +59,14 @@ func Table2(opt Options) (*Table, error) {
 			{"Parallel-Sequential", "0.13"},
 		},
 	}
-	for _, c := range fourConfigs {
-		res, err := machine.Run(c.config(opt), logging.New(logging.Config{}))
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{c.Name, ratio(res.Extra["log.diskUtil"])})
+	res, err := runCells(opt, len(fourConfigs), func(i int) (machine.Config, machine.Model) {
+		return fourConfigs[i].config(opt), logging.New(logging.Config{})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range fourConfigs {
+		t.Rows = append(t.Rows, []string{c.Name, ratio(res[ci].Extra["log.diskUtil"])})
 	}
 	t.Notes = "the query processors cannot update pages fast enough to keep even one log disk busy"
 	return t, nil
@@ -99,27 +104,32 @@ func Table3(opt Options) (*Table, error) {
 		},
 	}
 	selections := []logging.Selection{logging.Cyclic, logging.Random, logging.QpNoMod, logging.TranNoMod}
-	for n := 1; n <= 5; n++ {
-		row := []string{fmt.Sprintf("%d", n)}
-		var compl []string
-		for _, sel := range selections {
-			res, err := machine.Run(table3Config(opt), logging.New(logging.Config{
-				Mode:          logging.Physical,
-				LogProcessors: n,
-				Selection:     sel,
-			}))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, ms(res.ExecPerPageMs))
-			compl = append(compl, ms(res.MeanCompletionMs))
+	// Cells 0..19 are (log disks i/4 + 1, selection i%4); cell 20 is the
+	// no-logging baseline.
+	res, err := runCells(opt, 5*len(selections)+1, func(i int) (machine.Config, machine.Model) {
+		if i == 5*len(selections) {
+			return table3Config(opt), nil
 		}
-		t.Rows = append(t.Rows, append(row, compl...))
-	}
-	bare, err := machine.Run(table3Config(opt), nil)
+		return table3Config(opt), logging.New(logging.Config{
+			Mode:          logging.Physical,
+			LogProcessors: i/len(selections) + 1,
+			Selection:     selections[i%len(selections)],
+		})
+	})
 	if err != nil {
 		return nil, err
 	}
+	for n := 1; n <= 5; n++ {
+		row := []string{fmt.Sprintf("%d", n)}
+		var compl []string
+		for si := range selections {
+			r := res[(n-1)*len(selections)+si]
+			row = append(row, ms(r.ExecPerPageMs))
+			compl = append(compl, ms(r.MeanCompletionMs))
+		}
+		t.Rows = append(t.Rows, append(row, compl...))
+	}
+	bare := res[5*len(selections)]
 	e, c := ms(bare.ExecPerPageMs), ms(bare.MeanCompletionMs)
 	t.Rows = append(t.Rows, []string{"w/o logging", e, e, e, e, c, c, c, c})
 	t.Notes = "one log disk is the bottleneck; tranno-mod loses with few concurrent transactions"
@@ -136,20 +146,23 @@ func Bandwidth(opt Options) (*Table, error) {
 		Columns: []string{"Configuration", "1.0 MB/s", "0.1 MB/s", "0.01 MB/s", "via cache"},
 		Notes:   "paper reports performance is quite insensitive to the medium (no table published)",
 	}
-	for _, c := range fourConfigs {
+	bws := []float64{1.0, 0.1, 0.01}
+	perCfg := len(bws) + 1 // three bandwidths, then via-cache routing
+	res, err := runCells(opt, len(fourConfigs)*perCfg, func(i int) (machine.Config, machine.Model) {
+		cfg := fourConfigs[i/perCfg].config(opt)
+		if j := i % perCfg; j < len(bws) {
+			return cfg, logging.New(logging.Config{NetBandwidthMBs: bws[j]})
+		}
+		return cfg, logging.New(logging.Config{Routing: logging.ViaCache})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range fourConfigs {
 		row := []string{c.Name}
-		for _, bw := range []float64{1.0, 0.1, 0.01} {
-			res, err := machine.Run(c.config(opt), logging.New(logging.Config{NetBandwidthMBs: bw}))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, ms(res.ExecPerPageMs))
+		for j := 0; j < perCfg; j++ {
+			row = append(row, ms(res[ci*perCfg+j].ExecPerPageMs))
 		}
-		res, err := machine.Run(c.config(opt), logging.New(logging.Config{Routing: logging.ViaCache}))
-		if err != nil {
-			return nil, err
-		}
-		row = append(row, ms(res.ExecPerPageMs))
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestOptionsSentinels pins the Options resolution rules: the zero value
+// keeps its historical "use the default" meaning, while the *Set flags make
+// the zeros expressible.
+func TestOptionsSentinels(t *testing.T) {
+	def := machine.DefaultConfig()
+	if def.Seed != 1985 {
+		t.Fatalf("machine default seed moved to %d; update this test and the Options docs", def.Seed)
+	}
+
+	cases := []struct {
+		name     string
+		opt      Options
+		wantTxns int
+		wantSeed int64
+	}{
+		{"zero value keeps defaults", Options{}, def.NumTxns, 1985},
+		{"legacy sentinel: Seed 0 resolves to 1985", Options{Seed: 0}, def.NumTxns, 1985},
+		{"explicit seed", Options{Seed: 7}, def.NumTxns, 7},
+		{"explicit zero seed", Options{Seed: 0, SeedSet: true}, def.NumTxns, 0},
+		{"explicit txns", Options{NumTxns: 12}, 12, 1985},
+		{"explicit zero txns", Options{NumTxns: 0, NumTxnsSet: true}, 0, 1985},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.opt.apply(machine.DefaultConfig())
+			if cfg.NumTxns != tc.wantTxns || cfg.Seed != tc.wantSeed {
+				t.Fatalf("apply(%+v) -> txns=%d seed=%d, want txns=%d seed=%d",
+					tc.opt, cfg.NumTxns, cfg.Seed, tc.wantTxns, tc.wantSeed)
+			}
+		})
+	}
+}
+
+// TestDefaultOptionsResolved: DefaultOptions is the explicit form of the
+// zero value — same resolved config, but with every field marked set, so
+// overriding a field to zero means zero.
+func TestDefaultOptionsResolved(t *testing.T) {
+	def := machine.DefaultConfig()
+	opt := DefaultOptions()
+	if !opt.SeedSet || !opt.NumTxnsSet {
+		t.Fatalf("DefaultOptions fields not marked explicit: %+v", opt)
+	}
+	cfg := opt.apply(machine.DefaultConfig())
+	if cfg.NumTxns != def.NumTxns || cfg.Seed != def.Seed {
+		t.Fatalf("DefaultOptions resolves to txns=%d seed=%d, want the machine defaults %d/%d",
+			cfg.NumTxns, cfg.Seed, def.NumTxns, def.Seed)
+	}
+	zeroSeed := DefaultOptions()
+	zeroSeed.Seed = 0
+	if got := zeroSeed.apply(machine.DefaultConfig()).Seed; got != 0 {
+		t.Fatalf("DefaultOptions with Seed overridden to 0 resolves to %d, want 0", got)
+	}
+}

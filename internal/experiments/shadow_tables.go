@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"repro/internal/machine"
 	"repro/internal/recovery/shadow"
 )
@@ -23,20 +21,20 @@ func Table4(opt Options) (*Table, error) {
 			{"Parallel-Sequential", "1.92", "1.94", "1.93", "758.06", "829.34", "816.29"},
 		},
 	}
-	for _, c := range fourConfigs {
-		cfg := c.config(opt)
-		bare, err := machine.Run(cfg, nil)
-		if err != nil {
-			return nil, err
+	// Cell i is configuration i/3 run bare, with one, or with two
+	// page-table processors (i%3).
+	res, err := runCells(opt, len(fourConfigs)*3, func(i int) (machine.Config, machine.Model) {
+		var mdl machine.Model
+		if n := i % 3; n > 0 {
+			mdl = shadow.NewPageTable(shadow.Config{PageTableProcessors: n})
 		}
-		one, err := machine.Run(cfg, shadow.NewPageTable(shadow.Config{PageTableProcessors: 1}))
-		if err != nil {
-			return nil, err
-		}
-		two, err := machine.Run(cfg, shadow.NewPageTable(shadow.Config{PageTableProcessors: 2}))
-		if err != nil {
-			return nil, err
-		}
+		return fourConfigs[i/3].config(opt), mdl
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range fourConfigs {
+		bare, one, two := res[ci*3], res[ci*3+1], res[ci*3+2]
 		t.Rows = append(t.Rows, []string{c.Name,
 			ms(bare.ExecPerPageMs), ms(one.ExecPerPageMs), ms(two.ExecPerPageMs),
 			ms(bare.MeanCompletionMs), ms(one.MeanCompletionMs), ms(two.MeanCompletionMs)})
@@ -59,26 +57,33 @@ func Table5(opt Options) (*Table, error) {
 			{"Parallel-Sequential", "0.92", "0.90", "0.16", "0.91", "~0.1"},
 		},
 	}
-	for _, c := range fourConfigs {
-		cfg := c.config(opt)
-		bare, err := machine.Run(cfg, nil)
-		if err != nil {
-			return nil, err
+	res, err := runCells(opt, len(fourConfigs)*3, func(i int) (machine.Config, machine.Model) {
+		var mdl machine.Model
+		if n := i % 3; n > 0 {
+			mdl = shadow.NewPageTable(shadow.Config{PageTableProcessors: n})
 		}
-		one, err := machine.Run(cfg, shadow.NewPageTable(shadow.Config{PageTableProcessors: 1}))
-		if err != nil {
-			return nil, err
-		}
-		two, err := machine.Run(cfg, shadow.NewPageTable(shadow.Config{PageTableProcessors: 2}))
-		if err != nil {
-			return nil, err
-		}
+		return fourConfigs[i/3].config(opt), mdl
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range fourConfigs {
+		bare, one, two := res[ci*3], res[ci*3+1], res[ci*3+2]
 		t.Rows = append(t.Rows, []string{c.Name,
 			ratio(bare.DataDiskUtil),
 			ratio(one.DataDiskUtil), ratio(one.Extra["pt.diskUtil"]),
 			ratio(two.DataDiskUtil), ratio(two.Extra["pt.diskUtil"])})
 	}
 	return t, nil
+}
+
+// diskKinds are the two data-disk variants several shadow tables sweep.
+var diskKinds = []struct {
+	Name     string
+	Parallel bool
+}{
+	{"Conventional", false},
+	{"Parallel-access", true},
 }
 
 // Table6 reproduces "Execution Time per Page (1 Page-Table Processor)": the
@@ -93,25 +98,24 @@ func Table6(opt Options) (*Table, error) {
 			{"Parallel-access", "16.62", "20.49", "17.18", "16.70"},
 		},
 	}
-	for _, par := range []bool{false, true} {
-		name := "Conventional"
-		if par {
-			name = "Parallel-access"
-		}
+	bufs := []int{10, 25, 50}
+	perKind := 1 + len(bufs) // bare, then one cell per buffer size
+	res, err := runCells(opt, len(diskKinds)*perKind, func(i int) (machine.Config, machine.Model) {
 		cfg := machine.DefaultConfig()
-		cfg.ParallelDisks = par
+		cfg.ParallelDisks = diskKinds[i/perKind].Parallel
 		cfg = opt.apply(cfg)
-		bare, err := machine.Run(cfg, nil)
-		if err != nil {
-			return nil, err
+		if j := i % perKind; j > 0 {
+			return cfg, shadow.NewPageTable(shadow.Config{BufferPages: bufs[j-1]})
 		}
-		row := []string{name, ms(bare.ExecPerPageMs)}
-		for _, buf := range []int{10, 25, 50} {
-			res, err := machine.Run(cfg, shadow.NewPageTable(shadow.Config{BufferPages: buf}))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, ms(res.ExecPerPageMs))
+		return cfg, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range diskKinds {
+		row := []string{k.Name}
+		for j := 0; j < perKind; j++ {
+			row = append(row, ms(res[ki*perKind+j].ExecPerPageMs))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -132,34 +136,27 @@ func Table7(opt Options) (*Table, error) {
 			{"Parallel-access", "1.92", "1.94", "18.54", "2.31"},
 		},
 	}
-	for _, par := range []bool{false, true} {
-		name := "Conventional"
-		if par {
-			name = "Parallel-access"
-		}
+	models := []func() machine.Model{
+		func() machine.Model { return nil },
+		func() machine.Model { return shadow.NewPageTable(shadow.Config{}) },
+		func() machine.Model { return shadow.NewPageTable(shadow.Config{Scrambled: true}) },
+		func() machine.Model { return shadow.NewOverwrite(shadow.Config{}, true) },
+	}
+	res, err := runCells(opt, len(diskKinds)*len(models), func(i int) (machine.Config, machine.Model) {
 		cfg := machine.DefaultConfig()
-		cfg.ParallelDisks = par
+		cfg.ParallelDisks = diskKinds[i/len(models)].Parallel
 		cfg.Workload.Sequential = true
-		cfg = opt.apply(cfg)
-		bare, err := machine.Run(cfg, nil)
-		if err != nil {
-			return nil, err
+		return opt.apply(cfg), models[i%len(models)]()
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range diskKinds {
+		row := []string{k.Name}
+		for j := range models {
+			row = append(row, ms(res[ki*len(models)+j].ExecPerPageMs))
 		}
-		clustered, err := machine.Run(cfg, shadow.NewPageTable(shadow.Config{}))
-		if err != nil {
-			return nil, err
-		}
-		scrambled, err := machine.Run(cfg, shadow.NewPageTable(shadow.Config{Scrambled: true}))
-		if err != nil {
-			return nil, err
-		}
-		over, err := machine.Run(cfg, shadow.NewOverwrite(shadow.Config{}, true))
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{name,
-			ms(bare.ExecPerPageMs), ms(clustered.ExecPerPageMs),
-			ms(scrambled.ExecPerPageMs), ms(over.ExecPerPageMs)})
+		t.Rows = append(t.Rows, row)
 	}
 	t.Notes = "scrambling destroys sequentiality; overwriting preserves it and wins on parallel disks"
 	return t, nil
@@ -169,39 +166,34 @@ func Table7(opt Options) (*Table, error) {
 // thru-page-table shadow, and overwriting.
 func Table8(opt Options) (*Table, error) {
 	t := &Table{
-		ID:      "table8",
-		Title:   "Random Transactions: thru page-table vs overwriting",
+		ID:    "table8",
+		Title: "Random Transactions: thru page-table vs overwriting",
 		Columns: []string{"Data Disk Type", "Bare", "thru PageTable", "Overwriting"},
 		Paper: [][]string{
 			{"Conventional", "18.00", "20.51", "26.94"},
 			{"Parallel-access", "16.62", "20.49", "21.65"},
 		},
 	}
-	for _, par := range []bool{false, true} {
-		name := "Conventional"
-		if par {
-			name = "Parallel-access"
-		}
+	models := []func() machine.Model{
+		func() machine.Model { return nil },
+		func() machine.Model { return shadow.NewPageTable(shadow.Config{}) },
+		func() machine.Model { return shadow.NewOverwrite(shadow.Config{}, true) },
+	}
+	res, err := runCells(opt, len(diskKinds)*len(models), func(i int) (machine.Config, machine.Model) {
 		cfg := machine.DefaultConfig()
-		cfg.ParallelDisks = par
-		cfg = opt.apply(cfg)
-		bare, err := machine.Run(cfg, nil)
-		if err != nil {
-			return nil, err
+		cfg.ParallelDisks = diskKinds[i/len(models)].Parallel
+		return opt.apply(cfg), models[i%len(models)]()
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range diskKinds {
+		row := []string{k.Name}
+		for j := range models {
+			row = append(row, ms(res[ki*len(models)+j].ExecPerPageMs))
 		}
-		pt, err := machine.Run(cfg, shadow.NewPageTable(shadow.Config{}))
-		if err != nil {
-			return nil, err
-		}
-		over, err := machine.Run(cfg, shadow.NewOverwrite(shadow.Config{}, true))
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{name,
-			ms(bare.ExecPerPageMs), ms(pt.ExecPerPageMs), ms(over.ExecPerPageMs)})
+		t.Rows = append(t.Rows, row)
 	}
 	t.Notes = "overwriting needs extra data-disk accesses that cannot be overlapped"
 	return t, nil
 }
-
-var _ = fmt.Sprintf // keep fmt for future extensions

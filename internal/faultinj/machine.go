@@ -8,6 +8,7 @@ import (
 	"repro/internal/recovery/difffile"
 	"repro/internal/recovery/logging"
 	"repro/internal/recovery/shadow"
+	"repro/internal/runpool"
 	"repro/internal/sim"
 )
 
@@ -17,6 +18,11 @@ type MachineOptions struct {
 	Seed    int64 // machine seed (0 keeps the paper's default)
 	Points  int   // crash instants per model (default 8)
 	NumTxns int   // transactions per run (default 10, kept small for CI)
+	// Jobs is the worker count for fanning models and crash instants out
+	// through internal/runpool (< 1 = GOMAXPROCS). Every instant runs its
+	// own machines and results are assembled in instant order, so any value
+	// renders a byte-identical report.
+	Jobs int
 }
 
 func (o MachineOptions) withDefaults() MachineOptions {
@@ -103,9 +109,19 @@ func SweepMachineModel(name string, mk func() machine.Model, opt MachineOptions)
 	rep.Final = full.Committed
 	rep.EndMs = full.SimTime.ToMs()
 
-	prevCommitted := 0
-	for i := 1; i <= opt.Points; i++ {
-		t := sim.Time(int64(full.SimTime) * int64(i) / int64(opt.Points))
+	// Each instant audits its own pair of machines plus a resumed run —
+	// shared-nothing jobs that fan out across workers. The monotonicity
+	// audit needs consecutive instants, so it runs as an in-order scan over
+	// the collected outcomes afterwards; the report stays byte-identical at
+	// any worker count.
+	type instantOutcome struct {
+		committed int  // committed transactions at the cut
+		agreed    bool // twin runs agreed (monotonicity uses only agreed cuts)
+		failures  []string
+	}
+	outcomes, err := runpool.Map(opt.Jobs, opt.Points, func(i int) (*instantOutcome, error) {
+		t := sim.Time(int64(full.SimTime) * int64(i+1) / int64(opt.Points))
+		po := &instantOutcome{}
 		m1, err := machine.New(cfg, mk())
 		if err != nil {
 			return nil, fmt.Errorf("faultinj: machine %s: %w", name, err)
@@ -116,12 +132,13 @@ func SweepMachineModel(name string, mk func() machine.Model, opt MachineOptions)
 		}
 		p1 := m1.RunUntil(t)
 		p2 := m2.RunUntil(t)
-		rep.Points++
 		if p1 != p2 {
-			rep.Failures = append(rep.Failures, fmt.Sprintf(
+			po.failures = append(po.failures, fmt.Sprintf(
 				"%s@%s: twin runs diverged: %+v vs %+v", name, t, p1, p2))
-			continue
+			return po, nil
 		}
+		po.agreed = true
+		po.committed = p1.Committed
 		s1, err := snapshotText(m1)
 		if err != nil {
 			return nil, err
@@ -131,41 +148,51 @@ func SweepMachineModel(name string, mk func() machine.Model, opt MachineOptions)
 			return nil, err
 		}
 		if s1 != s2 {
-			rep.Failures = append(rep.Failures, fmt.Sprintf(
+			po.failures = append(po.failures, fmt.Sprintf(
 				"%s@%s: twin metrics snapshots differ", name, t))
 		}
-		if p1.Committed < prevCommitted {
-			rep.Failures = append(rep.Failures, fmt.Sprintf(
-				"%s@%s: committed count went backwards (%d after %d)",
-				name, t, p1.Committed, prevCommitted))
-		}
-		prevCommitted = p1.Committed
 		res, err := m1.Run()
 		if err != nil {
-			rep.Failures = append(rep.Failures, fmt.Sprintf(
+			po.failures = append(po.failures, fmt.Sprintf(
 				"%s@%s: resume after cut: %v", name, t, err))
-			continue
+			return po, nil
 		}
 		if res.Committed != full.Committed || res.Aborted != full.Aborted ||
 			res.SimTime != full.SimTime || res.PagesProcessed != full.PagesProcessed {
-			rep.Failures = append(rep.Failures, fmt.Sprintf(
+			po.failures = append(po.failures, fmt.Sprintf(
 				"%s@%s: resumed run finished at {c=%d a=%d t=%s pages=%d}, probe {c=%d a=%d t=%s pages=%d}",
 				name, t, res.Committed, res.Aborted, res.SimTime, res.PagesProcessed,
 				full.Committed, full.Aborted, full.SimTime, full.PagesProcessed))
 		}
+		return po, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	prevCommitted := 0
+	for i, po := range outcomes {
+		rep.Points++
+		rep.Failures = append(rep.Failures, po.failures...)
+		if !po.agreed {
+			continue
+		}
+		if po.committed < prevCommitted {
+			t := sim.Time(int64(full.SimTime) * int64(i+1) / int64(opt.Points))
+			rep.Failures = append(rep.Failures, fmt.Sprintf(
+				"%s@%s: committed count went backwards (%d after %d)",
+				name, t, po.committed, prevCommitted))
+		}
+		prevCommitted = po.committed
 	}
 	return rep, nil
 }
 
-// SweepMachines runs the virtual-time sweep for every recovery model.
+// SweepMachines runs the virtual-time sweep for every recovery model,
+// fanning the models out across pool workers; reports come back in the
+// fixed model-lineup order.
 func SweepMachines(opt MachineOptions) ([]*ModelReport, error) {
-	var out []*ModelReport
-	for _, mm := range machineModels() {
-		rep, err := SweepMachineModel(mm.name, mm.mk, opt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, rep)
-	}
-	return out, nil
+	models := machineModels()
+	return runpool.Map(opt.Jobs, len(models), func(i int) (*ModelReport, error) {
+		return SweepMachineModel(models[i].name, models[i].mk, opt)
+	})
 }

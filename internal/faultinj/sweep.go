@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/pagestore"
+	"repro/internal/runpool"
 	"repro/internal/shadoweng"
 	"repro/internal/wal"
 )
@@ -98,6 +99,11 @@ type Options struct {
 	// re-crashes recovery at stable-storage operation 1+(k-1)%RecrashCycle
 	// (default 5).
 	RecrashCycle int64
+	// Jobs is the worker count for fanning crash points out through
+	// internal/runpool (< 1 = GOMAXPROCS). Every point builds its own engine
+	// and stores, and outcomes are assembled in point order, so any value
+	// renders a byte-identical report.
+	Jobs int
 }
 
 func (o Options) withDefaults() Options {
@@ -126,11 +132,6 @@ type TargetReport struct {
 	DoubtReverted int      // in-doubt commits recovery rolled back
 	Commits       int64    // committed transactions across all point runs
 	Failures      []string // audit failures; empty means every audit passed
-}
-
-func (r *TargetReport) fail(k int64, format string, args ...any) {
-	r.Failures = append(r.Failures,
-		fmt.Sprintf("%s@%d: %s", r.Target, k, fmt.Sprintf(format, args...)))
 }
 
 // SweepTarget enumerates every opt.Every-th stable mutation of the scripted
@@ -162,33 +163,72 @@ func SweepTarget(tg Target, opt Options) (*TargetReport, error) {
 	}
 	rep.Mutations = ctr.Mutations()
 
+	// Every crash point builds its own engine and stores, so points are
+	// shared-nothing jobs; they fan out across workers and their outcomes
+	// are folded into the report in point order, keeping it byte-identical
+	// at any worker count.
+	var points []int64
 	for k := int64(1); k <= rep.Mutations; k += opt.Every {
-		if err := sweepPoint(tg, opt, rep, k); err != nil {
-			return nil, err
+		points = append(points, k)
+	}
+	outcomes, err := runpool.Map(opt.Jobs, len(points), func(i int) (*pointOutcome, error) {
+		return sweepPoint(tg, opt, points[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, po := range outcomes {
+		rep.Points++
+		rep.Commits += po.commits
+		if po.recrashed {
+			rep.Recrashes++
 		}
+		if po.doubtApplied {
+			rep.DoubtApplied++
+		}
+		if po.doubtReverted {
+			rep.DoubtReverted++
+		}
+		rep.Failures = append(rep.Failures, po.failures...)
 	}
 	return rep, nil
+}
+
+// pointOutcome is what one audited crash point contributes to its target's
+// report; sweepPoint returns it instead of mutating shared state so points
+// can run on pool workers.
+type pointOutcome struct {
+	commits       int64
+	recrashed     bool
+	doubtApplied  bool
+	doubtReverted bool
+	failures      []string
+}
+
+func (po *pointOutcome) fail(target string, k int64, format string, args ...any) {
+	po.failures = append(po.failures,
+		fmt.Sprintf("%s@%d: %s", target, k, fmt.Sprintf(format, args...)))
 }
 
 // sweepPoint audits one crash point: cut power at the k-th stable mutation,
 // crash recovery itself at a k-derived operation, finish recovery, then
 // audit state, idempotence, and liveness.
-func sweepPoint(tg Target, opt Options, rep *TargetReport, k int64) error {
+func sweepPoint(tg Target, opt Options, k int64) (*pointOutcome, error) {
+	po := &pointOutcome{}
 	e, stores, err := tg.Build()
 	if err != nil {
-		return fmt.Errorf("faultinj: build %s: %w", tg.Name, err)
+		return nil, fmt.Errorf("faultinj: build %s: %w", tg.Name, err)
 	}
 	model, err := LoadPages(e, opt.Pages)
 	if err != nil {
-		return fmt.Errorf("faultinj: load %s: %w", tg.Name, err)
+		return nil, fmt.Errorf("faultinj: load %s: %w", tg.Name, err)
 	}
 	hook := CrashAtMutation(k)
 	for _, s := range stores {
 		s.SetFaultHook(hook)
 	}
 	out := RunScript(e, model, opt.Seed, opt.Pages, opt.MaxTxns)
-	rep.Points++
-	rep.Commits += int64(out.Commits)
+	po.commits = int64(out.Commits)
 	e.Crash()
 
 	// Re-crash recovery partway through: the restarted restart must still
@@ -200,11 +240,11 @@ func sweepPoint(tg Target, opt Options, rep *TargetReport, k int64) error {
 		s.SetFaultHook(rhook)
 	}
 	if err := e.Recover(); err != nil {
-		rep.Recrashes++
+		po.recrashed = true
 		e.Crash()
 		if err := e.Recover(); err != nil {
-			rep.fail(k, "recovery after mid-recovery crash (op %d): %v", j, err)
-			return nil
+			po.fail(tg.Name, k, "recovery after mid-recovery crash (op %d): %v", j, err)
+			return po, nil
 		}
 	}
 	for _, s := range stores {
@@ -212,17 +252,17 @@ func sweepPoint(tg Target, opt Options, rep *TargetReport, k int64) error {
 	}
 
 	fails, applied := AuditState(e, out, opt.Pages)
-	rep.Failures = append(rep.Failures, prefix(tg.Name, k, fails)...)
+	po.failures = append(po.failures, prefix(tg.Name, k, fails)...)
 	if out.Doubt != nil {
 		if applied {
-			rep.DoubtApplied++
+			po.doubtApplied = true
 		} else {
-			rep.DoubtReverted++
+			po.doubtReverted = true
 		}
 	}
-	rep.Failures = append(rep.Failures, prefix(tg.Name, k, AuditIdempotence(e, opt.Pages))...)
-	rep.Failures = append(rep.Failures, prefix(tg.Name, k, AuditLiveness(e, opt.Pages))...)
-	return nil
+	po.failures = append(po.failures, prefix(tg.Name, k, AuditIdempotence(e, opt.Pages))...)
+	po.failures = append(po.failures, prefix(tg.Name, k, AuditLiveness(e, opt.Pages))...)
+	return po, nil
 }
 
 func prefix(target string, k int64, fails []string) []string {
@@ -233,7 +273,9 @@ func prefix(target string, k int64, fails []string) []string {
 	return out
 }
 
-// Sweep runs SweepTarget over targets and bundles the reports.
+// Sweep runs SweepTarget over targets and bundles the reports. Targets run
+// one after another — the per-target crash points already saturate
+// opt.Jobs workers — and the report lists them in the given order.
 func Sweep(targets []Target, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	rep := &Report{Seed: opt.Seed, Every: opt.Every, Pages: opt.Pages, MaxTxns: opt.MaxTxns}

@@ -77,8 +77,11 @@ type RuleInfo struct {
 // and every pure recovery kernel built on them — including the functional
 // engines (internal/wal, internal/shadoweng, internal/diffeng), which must
 // stay free of sync primitives. Concurrent runtime-side packages
-// (internal/lockmgr, internal/engine with its Guard wrapper, workload
-// drivers) are deliberately outside it.
+// (internal/lockmgr, internal/engine with its Guard wrapper, the
+// internal/runpool fan-out pool, workload drivers) are deliberately
+// outside it: runpool holds all of the experiment drivers' goroutines and
+// atomics so the kernels it fans out stay pure (testdata/d004runpool pins
+// that boundary).
 var Rules = []RuleInfo{
 	{
 		ID:    "D001",

@@ -1,0 +1,37 @@
+// Package fixture pins internal/runpool's side of the D004 boundary: the
+// fan-out pool is the wrapper-layer home for the goroutines and atomics
+// that drive pure kernels in parallel, so the exact constructs D004 bans
+// inside the kernel scope must pass clean here. If runpool is ever pulled
+// into the kernel allowlist, this fixture fails.
+//
+//simlint:path internal/runpool
+package fixture
+
+import "sync/atomic"
+
+// run fans tasks out across workers claiming indices from an atomic
+// counter — the pool's real shape: goroutines, channels, and atomics, all
+// legal outside the kernel scope.
+func run(workers int, tasks []func() int) []int {
+	out := make([]int, len(tasks))
+	var next atomic.Int64
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				out[i] = tasks[i]()
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		select {
+		case <-done:
+		}
+	}
+	return out
+}

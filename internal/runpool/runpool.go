@@ -1,0 +1,118 @@
+// Package runpool is the deterministic fan-out pool for the repository's
+// embarrassingly-parallel batch paths: regenerating the paper's evaluation
+// tables (internal/experiments) and auditing crash points
+// (internal/faultinj). Each submitted job is an independent, shared-nothing
+// simulation — it owns its own sim.Engine, RNG, and obs registry — so jobs
+// may execute on any worker in any order, and the pool's only promise is
+// that results come back in submission order. Determinism lives in the
+// per-job seeded state, never in scheduling order: the same job list
+// produces byte-identical results at any worker count.
+//
+// Like internal/engine.Guard, this package is wrapper-side concurrency: it
+// sits outside simlint's D004 kernel scope on purpose. The single-threaded
+// simulator kernels never import it; they are what runs *inside* a job.
+package runpool
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Jobs resolves a -jobs flag value to a concrete worker count: values < 1
+// (the "pick for me" sentinel) become GOMAXPROCS.
+func Jobs(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// A PanicError is a panic captured inside a pool job. The pool contains
+// panics instead of letting them kill the process so that one bad cell in a
+// fanned-out table or sweep surfaces as an ordinary, attributable error.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack string // the panicking goroutine's stack
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Run executes every task across min(Jobs(jobs), len(tasks)) workers and
+// returns the results indexed exactly like tasks — submission order, not
+// completion order. All tasks run to completion even when some fail; if any
+// failed, the returned error is the lowest-indexed failure (so the error,
+// like the results, does not depend on scheduling). A task that panics is
+// contained and reported as a *PanicError wrapped the same way.
+//
+// jobs < 1 means GOMAXPROCS; jobs == 1 degenerates to a plain sequential
+// loop on the calling goroutine, which is what the differential tests use
+// to prove worker count cannot leak into results.
+func Run[T any](jobs int, tasks []func() (T, error)) ([]T, error) {
+	out := make([]T, len(tasks))
+	errs := make([]error, len(tasks))
+	workers := Jobs(jobs)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for i, task := range tasks {
+			out[i], errs[i] = runTask(task)
+		}
+		return out, firstError(errs)
+	}
+
+	// Workers claim the next unclaimed index; each index is written by
+	// exactly one worker, so the slices need no locking of their own.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				out[i], errs[i] = runTask(tasks[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out, firstError(errs)
+}
+
+// Map fans an indexed job out over n items: Map(jobs, n, f) is Run over the
+// task list f(0), f(1), ... f(n-1). It is the convenient form for drivers
+// whose cells are naturally "the i-th configuration".
+func Map[T any](jobs, n int, f func(i int) (T, error)) ([]T, error) {
+	tasks := make([]func() (T, error), n)
+	for i := range tasks {
+		i := i
+		tasks[i] = func() (T, error) { return f(i) }
+	}
+	return Run(jobs, tasks)
+}
+
+func runTask[T any](task func() (T, error)) (result T, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+	return task()
+}
+
+func firstError(errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("runpool: job %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package runpool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJobsResolvesSentinel(t *testing.T) {
+	if got := Jobs(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Jobs(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Jobs(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Jobs(-3) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Jobs(7); got != 7 {
+		t.Fatalf("Jobs(7) = %d", got)
+	}
+}
+
+// TestOrderedCollection is the pool's core promise: results land at their
+// submission index regardless of completion order. Jobs deliberately finish
+// out of order — each blocks until every later-indexed job has started, so
+// at 8 workers the *last* submissions complete first — and the output must
+// still read 0..n-1.
+func TestOrderedCollection(t *testing.T) {
+	const n = 16
+	var started sync.WaitGroup
+	started.Add(n)
+	tasks := make([]func() (int, error), n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = func() (int, error) {
+			started.Done()
+			if i < n/2 {
+				// Early jobs wait for the full fleet, inverting completion
+				// order relative to submission order. This only terminates
+				// when workers >= n, which the test guarantees below.
+				started.Wait()
+			}
+			return i, nil
+		}
+	}
+	out, err := Run(n, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d; collection is not in submission order: %v", i, v, out)
+		}
+	}
+}
+
+// TestSameResultsAtAnyWorkerCount runs an identical task list at several
+// worker counts and demands identical output — the property the experiment
+// and sweep differential tests rely on.
+func TestSameResultsAtAnyWorkerCount(t *testing.T) {
+	mk := func() []func() (string, error) {
+		tasks := make([]func() (string, error), 20)
+		for i := range tasks {
+			i := i
+			tasks[i] = func() (string, error) { return fmt.Sprintf("job-%02d", i), nil }
+		}
+		return tasks
+	}
+	ref, err := Run(1, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{2, 3, 8, 64} {
+		got, err := Run(jobs, mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("jobs=%d: out[%d] = %q, want %q", jobs, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestErrorPropagation: every task still runs, and the reported error is
+// the lowest-indexed failure — deterministic no matter which worker tripped
+// first in wall-clock time.
+func TestErrorPropagation(t *testing.T) {
+	boom3 := errors.New("boom at three")
+	boom7 := errors.New("boom at seven")
+	var ran [10]bool
+	tasks := make([]func() (int, error), 10)
+	for i := range tasks {
+		i := i
+		tasks[i] = func() (int, error) {
+			ran[i] = true
+			switch i {
+			case 3:
+				return 0, boom3
+			case 7:
+				return 0, boom7
+			}
+			return i * i, nil
+		}
+	}
+	out, err := Run(4, tasks)
+	if !errors.Is(err, boom3) {
+		t.Fatalf("err = %v, want the lowest-indexed failure (%v)", err, boom3)
+	}
+	if !strings.Contains(err.Error(), "job 3") {
+		t.Fatalf("error does not name the failing job: %v", err)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Errorf("task %d was skipped after an earlier failure", i)
+		}
+	}
+	if out[9] != 81 {
+		t.Errorf("successful results discarded on failure: out[9] = %d", out[9])
+	}
+}
+
+// TestPanicContainment: a panicking job must not kill the process; it comes
+// back as a *PanicError carrying the panic value and stack.
+func TestPanicContainment(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		tasks := []func() (int, error){
+			func() (int, error) { return 1, nil },
+			func() (int, error) { panic("cell exploded") },
+			func() (int, error) { return 3, nil },
+		}
+		_, err := Run(jobs, tasks)
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("jobs=%d: err = %v, want a *PanicError", jobs, err)
+		}
+		if pe.Value != "cell exploded" {
+			t.Fatalf("jobs=%d: panic value = %v", jobs, pe.Value)
+		}
+		if !strings.Contains(pe.Stack, "runpool") {
+			t.Fatalf("jobs=%d: panic stack not captured:\n%s", jobs, pe.Stack)
+		}
+		if !strings.Contains(err.Error(), "job 1") {
+			t.Fatalf("jobs=%d: error does not name the panicking job: %v", jobs, err)
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	out, err := Run[int](8, nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty task list: out=%v err=%v", out, err)
+	}
+	one, err := Run(8, []func() (int, error){func() (int, error) { return 42, nil }})
+	if err != nil || len(one) != 1 || one[0] != 42 {
+		t.Fatalf("single task: out=%v err=%v", one, err)
+	}
+}
+
+func TestMap(t *testing.T) {
+	out, err := Map(3, 5, func(i int) (int, error) { return i * 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*10 {
+			t.Fatalf("Map out[%d] = %d", i, v)
+		}
+	}
+}

@@ -54,12 +54,15 @@ cover:
 		 printf "recovery-kernel coverage: %s (minimum %d%%)\n", $$3, min; \
 		 if (pct + 0 < min) { print "FAIL: coverage below minimum"; exit 1 } }'
 
-# Runpool scaling benchmark: times table regeneration and the crash sweep
-# at jobs=1 vs jobs=4 (byte-compared) and writes BENCH_runpool.json. The
-# committed file records gomaxprocs — regenerate on a multi-core machine
+# Runpool scaling benchmark (table regeneration + crash sweep at jobs=1
+# vs jobs=4, byte-compared -> BENCH_runpool.json) followed by the Guard
+# mutex contention profile (per-op wait/hold percentiles over worker
+# counts -> BENCH_guard_contention.json; see docs/OBSERVABILITY.md). The
+# committed files record gomaxprocs — regenerate on a multi-core machine
 # for meaningful speedups.
 bench:
-	$(GO) run ./cmd/dbbench -out BENCH_runpool.json
+	$(GO) run ./cmd/dbbench -out BENCH_runpool.json \
+		-guard-out BENCH_guard_contention.json
 
 # Go's own microbenchmarks.
 gobench:

@@ -23,8 +23,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/faultinj"
+	"repro/internal/obs/live"
 )
 
 func main() {
@@ -38,6 +42,11 @@ func main() {
 	machinePoints := flag.Int("machine-points", 8,
 		"virtual-time crash instants per performance-simulator model (0 disables the machine sweep)")
 	machineTxns := flag.Int("machine-txns", 10, "transactions per performance-simulator run")
+	quiet := flag.Bool("quiet", false, "suppress the stderr progress ticker")
+	liveAddr := flag.String("live", "", "serve live /metrics, /progress and /debug/pprof on this address during the sweep (e.g. :9090)")
+	journalAt := flag.String("journal", "",
+		"instead of sweeping, replay one crash point with a recovery journal attached: engine@k (e.g. wal-1stream@17)")
+	journalOut := flag.String("journal-out", "", "write the journal JSONL to this file instead of stdout")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: crashsweep [-engines wal-1stream,shadow] [-every n] [-seed s] [-report file]\n")
@@ -49,20 +58,48 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *journalAt != "" {
+		if err := journalPoint(*journalAt, *seed, *journalOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	targets, err := faultinj.TargetsByName(*engines)
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := faultinj.Sweep(targets, faultinj.Options{Seed: *seed, Every: *every, Jobs: *jobs})
+
+	// The progress tracker feeds the stderr ticker and the -live /progress
+	// endpoint; it never touches the report, which stays byte-identical
+	// with or without it (-quiet only silences stderr).
+	prog := live.NewProgress(live.Wall(), "crashsweep")
+	if *liveAddr != "" {
+		srv, err := live.Serve(*liveAddr, live.Default(), prog)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "crashsweep: live endpoint on http://%s/metrics\n", srv.Addr())
+	}
+	if !*quiet {
+		stop := prog.StartTicker(os.Stderr, 2*time.Second)
+		defer stop()
+	}
+
+	rep, err := faultinj.Sweep(targets, faultinj.Options{
+		Seed: *seed, Every: *every, Jobs: *jobs, Progress: prog,
+	})
 	if err != nil {
 		fatal(err)
 	}
 	if *machinePoints > 0 {
 		ms, err := faultinj.SweepMachines(faultinj.MachineOptions{
-			Seed:    *seed,
-			Points:  *machinePoints,
-			NumTxns: *machineTxns,
-			Jobs:    *jobs,
+			Seed:     *seed,
+			Points:   *machinePoints,
+			NumTxns:  *machineTxns,
+			Jobs:     *jobs,
+			Progress: prog,
 		})
 		if err != nil {
 			fatal(err)
@@ -85,6 +122,48 @@ func main() {
 	if rep.TotalFailures() > 0 {
 		os.Exit(1)
 	}
+}
+
+// journalPoint handles -journal engine@k: replay exactly one crash point
+// with a structured recovery journal attached and emit the JSONL record of
+// what recovery decided there. Deterministic: same engine, seed and k give
+// byte-identical output.
+func journalPoint(spec string, seed int64, outPath string) error {
+	name, kStr, ok := strings.Cut(spec, "@")
+	if !ok {
+		return fmt.Errorf("-journal wants engine@k, got %q", spec)
+	}
+	k, err := strconv.ParseInt(kStr, 10, 64)
+	if err != nil || k < 1 {
+		return fmt.Errorf("-journal wants a positive crash point, got %q", kStr)
+	}
+	targets, err := faultinj.TargetsByName(name)
+	if err != nil {
+		return err
+	}
+	j, rep, err := faultinj.JournalPoint(targets[0], faultinj.Options{Seed: seed}, k)
+	if err != nil {
+		return err
+	}
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := j.WriteJSONL(out); err != nil {
+		return err
+	}
+	for _, f := range rep.Failures {
+		fmt.Fprintln(os.Stderr, "crashsweep: audit failure:", f)
+	}
+	if len(rep.Failures) > 0 {
+		os.Exit(1)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/obs/live"
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+// The guard-contention benchmark measures what the repository's whole
+// concurrency story hinges on: every transactional operation serializes
+// through engine.Guard's single mutex, so the mutex wait-time curve over
+// worker count is the direct cost of the kernel/wrapper split. W workers
+// each run K seeded transactions against one shared WAL engine while a
+// live.GuardMetrics profiles per-op wait and hold times; the jobs=1 row is
+// the contention-free baseline the other rows are read against.
+
+// GuardOpSummary is one op's wait/hold profile at one worker count.
+type GuardOpSummary struct {
+	Wait live.HistSnap `json:"wait_ms"`
+	Hold live.HistSnap `json:"hold_ms"`
+}
+
+// GuardPoint is the measurement at one worker count.
+type GuardPoint struct {
+	Jobs       int                       `json:"jobs"`
+	WallMs     float64                   `json:"wall_ms"`
+	Commits    int64                     `json:"commits"`
+	MaxWaiters int64                     `json:"max_waiters"`
+	Ops        map[string]GuardOpSummary `json:"ops"`
+}
+
+// GuardResult is the BENCH_guard_contention.json document.
+type GuardResult struct {
+	Benchmark     string       `json:"benchmark"`
+	GoMaxProcs    int          `json:"gomaxprocs"`
+	Engine        string       `json:"engine"`
+	TxnsPerWorker int          `json:"txns_per_worker"`
+	WritesPerTxn  int          `json:"writes_per_txn"`
+	Pages         int          `json:"pages"`
+	Seed          int64        `json:"seed"`
+	Points        []GuardPoint `json:"points"`
+}
+
+// guardWorkload runs K transactions against e, each touching a few seeded
+// pages. Every worker gets its own RNG (seed+worker), so the page traffic
+// is reproducible per worker regardless of scheduling.
+func guardWorkload(e *engine.Engine, rng *sim.RNG, txns, writesPerTxn, pages int) (int64, error) {
+	var commits int64
+	for t := 0; t < txns; t++ {
+		txn, err := e.Begin()
+		if err != nil {
+			return commits, err
+		}
+		ok := true
+		for w := 0; w < writesPerTxn; w++ {
+			p := int64(rng.Intn(pages))
+			if _, err := txn.Read(p); err != nil {
+				ok = false // deadlock victim: roll back and move on
+				break
+			}
+			if err := txn.Write(p, []byte(fmt.Sprintf("w%d", t))); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			_ = txn.Abort()
+			continue
+		}
+		if err := txn.Commit(); err != nil {
+			_ = txn.Abort()
+			continue
+		}
+		commits++
+	}
+	return commits, nil
+}
+
+// guardPoint measures one worker count: a fresh WAL engine, fresh metrics,
+// W concurrent workers of K transactions each.
+func guardPoint(jobs, txns, writesPerTxn, pages int, seed int64) (GuardPoint, error) {
+	e := engine.NewWAL(wal.Config{})
+	for p := 0; p < pages; p++ {
+		if err := e.Load(int64(p), []byte("seed")); err != nil {
+			return GuardPoint{}, err
+		}
+	}
+	gm := live.NewGuardMetrics(live.Wall())
+	e.Guard().SetMetrics(gm)
+
+	clock := live.Wall()
+	start := clock.Now()
+	var wg sync.WaitGroup
+	commits := make([]int64, jobs)
+	errs := make([]error, jobs)
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := sim.NewRNG(seed + int64(w))
+			commits[w], errs[w] = guardWorkload(e, rng, txns, writesPerTxn, pages)
+		}(w)
+	}
+	wg.Wait()
+	wallMs := float64(clock.Now().Sub(start).Microseconds()) / 1000
+
+	pt := GuardPoint{
+		Jobs:       jobs,
+		WallMs:     wallMs,
+		MaxWaiters: gm.MaxWaiters(),
+		Ops:        map[string]GuardOpSummary{},
+	}
+	for w := 0; w < jobs; w++ {
+		if errs[w] != nil {
+			return pt, fmt.Errorf("guard bench worker %d: %w", w, errs[w])
+		}
+		pt.Commits += commits[w]
+	}
+	for op := live.GuardBegin; op <= live.GuardCommit; op++ {
+		if gm.Wait(op).Count() == 0 {
+			continue
+		}
+		pt.Ops[op.String()] = GuardOpSummary{
+			Wait: gm.Wait(op).Snap(),
+			Hold: gm.Hold(op).Snap(),
+		}
+	}
+	return pt, nil
+}
+
+// benchGuard sweeps worker counts 1, 2, 4, ... up to maxJobs (always
+// including maxJobs itself) and writes BENCH_guard_contention.json.
+func benchGuard(maxJobs, txns, writesPerTxn, pages int, seed int64, outPath string) error {
+	res := GuardResult{
+		Benchmark:     "guard_contention",
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		TxnsPerWorker: txns,
+		WritesPerTxn:  writesPerTxn,
+		Pages:         pages,
+		Seed:          seed,
+		Engine:        engine.NewWAL(wal.Config{}).Name(),
+	}
+	var counts []int
+	for j := 1; j < maxJobs; j *= 2 {
+		counts = append(counts, j)
+	}
+	if len(counts) == 0 || counts[len(counts)-1] != maxJobs {
+		counts = append(counts, maxJobs)
+	}
+	for _, j := range counts {
+		pt, err := guardPoint(j, txns, writesPerTxn, pages, seed)
+		if err != nil {
+			return err
+		}
+		res.Points = append(res.Points, pt)
+		wait := pt.Ops["commit"].Wait
+		fmt.Fprintf(os.Stderr,
+			"dbbench: guard jobs=%-2d wall %7.1fms  commits %4d  max-waiters %2d  commit-wait p50 %.4fms p99 %.4fms\n",
+			j, pt.WallMs, pt.Commits, pt.MaxWaiters, wait.P50, wait.P99)
+	}
+
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if outPath == "" {
+		os.Stdout.Write(enc)
+		return nil
+	}
+	if err := os.WriteFile(outPath, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dbbench: wrote %s\n", outPath)
+	return nil
+}

@@ -14,9 +14,10 @@
 //
 //	go run ./cmd/dbbench [-jobs 4] [-txns 12] [-every 4] [-out BENCH_runpool.json]
 //
-// dbbench is a benchmark harness, not a simulator: it is the one place
-// in this repository that is *supposed* to read the host clock, so its
-// single wall-clock call site carries a simlint D001 suppression.
+// dbbench is a benchmark harness, not a simulator: it is one of the
+// places that are *supposed* to read the host clock. It does so through
+// internal/obs/live's Clock — the runtime observability layer where
+// wall-clock time is legal by simlint scope, not by suppression.
 package main
 
 import (
@@ -26,18 +27,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/faultinj"
+	"repro/internal/obs/live"
 )
-
-// wallClock is dbbench's only source of time. Everything under
-// internal/... stays on virtual time; measuring how fast the host chews
-// through virtual-time work is exactly this harness's job.
-func wallClock() time.Time {
-	return time.Now() //simlint:ignore D001 dbbench exists to measure host wall-clock; simulators never call this
-}
 
 // A Timing records one benchmark's sequential-versus-parallel result.
 type Timing struct {
@@ -64,16 +58,17 @@ type Result struct {
 // bench runs f(jobs) repeat times at jobs=1 and jobs=n, keeps the best
 // (minimum) wall-clock time of each, and byte-compares the outputs.
 func bench(name string, repeat, n int, f func(jobs int) ([]byte, error)) (Timing, error) {
+	clock := live.Wall()
 	best := func(jobs int) ([]byte, float64, error) {
 		var out []byte
 		min := -1.0
 		for r := 0; r < repeat; r++ {
-			start := wallClock()
+			start := clock.Now()
 			b, err := f(jobs)
 			if err != nil {
 				return nil, 0, fmt.Errorf("%s at jobs=%d: %w", name, jobs, err)
 			}
-			ms := float64(wallClock().Sub(start)) / float64(time.Millisecond)
+			ms := float64(clock.Now().Sub(start).Microseconds()) / 1000
 			if min < 0 || ms < min {
 				min = ms
 			}
@@ -152,7 +147,34 @@ func main() {
 	machineTxns := flag.Int("machine-txns", 6, "transactions per machine run in the sweep benchmark")
 	repeat := flag.Int("repeat", 3, "measurements per configuration; best (minimum) time wins")
 	out := flag.String("out", "", "write the JSON result to this file instead of stdout")
+	guardTxns := flag.Int("guard-txns", 200, "guard-contention benchmark: transactions per worker")
+	guardWrites := flag.Int("guard-writes", 4, "guard-contention benchmark: page writes per transaction")
+	guardPages := flag.Int("guard-pages", 64, "guard-contention benchmark: database pages")
+	guardOut := flag.String("guard-out", "", "write the guard-contention JSON to this file (default stdout)")
+	guardOnly := flag.Bool("guard-only", false, "run only the guard-contention benchmark")
+	liveAddr := flag.String("live", "", "serve live /metrics, /progress and /debug/pprof on this address while benchmarking (e.g. :9090)")
 	flag.Parse()
+
+	if *liveAddr != "" {
+		srv, err := live.Serve(*liveAddr, live.Default(), nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dbbench: live endpoint on http://%s/metrics\n", srv.Addr())
+	}
+
+	runGuard := func() {
+		if err := benchGuard(*jobs, *guardTxns, *guardWrites, *guardPages, *seed, *guardOut); err != nil {
+			fmt.Fprintln(os.Stderr, "dbbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *guardOnly {
+		runGuard()
+		return
+	}
 
 	res := Result{
 		Benchmark:  "runpool",
@@ -189,6 +211,7 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
+		runGuard()
 		return
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
@@ -196,4 +219,5 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "dbbench: wrote %s\n", *out)
+	runGuard()
 }

@@ -17,6 +17,7 @@ import (
 	"strconv"
 
 	"repro/internal/experiments"
+	"repro/internal/obs/live"
 )
 
 func main() {
@@ -31,7 +32,18 @@ func main() {
 	trace := flag.String("trace", "", "with -profile: write a Chrome trace-event JSON file (open in Perfetto)")
 	metrics := flag.Bool("metrics", false, "with -profile: print a JSON metrics snapshot of the run")
 	list := flag.Bool("list", false, "list the available experiments and exit")
+	liveAddr := flag.String("live", "", "serve live /metrics, /progress and /debug/pprof on this address while running (e.g. :9090)")
 	flag.Parse()
+
+	if *liveAddr != "" {
+		srv, err := live.Serve(*liveAddr, live.Default(), nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbmsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dbmsim: live endpoint on http://%s/metrics\n", srv.Addr())
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

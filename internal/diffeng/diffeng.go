@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/pagestore"
 )
 
@@ -105,6 +106,11 @@ type Engine struct {
 
 	adds, dels, commits, aborts, merges int64
 	replayed                            int64 // entries scanned by the last Recover
+
+	// journal, when attached, records recovery and merge decisions in
+	// order. A nil journal is a no-op sink; it belongs to the observer and
+	// survives Crash.
+	journal *obs.Journal
 }
 
 // New creates a differential-file engine on store.
@@ -118,6 +124,10 @@ func New(store *pagestore.Store) *Engine {
 
 // Name identifies the engine.
 func (e *Engine) Name() string { return "difffile" }
+
+// SetJournal attaches (or with nil detaches) the structured recovery
+// journal. Subsequent Recover and Merge calls emit their decisions to it.
+func (e *Engine) SetJournal(j *obs.Journal) { e.journal = j }
 
 // Load writes page p into the read-only base file B.
 func (e *Engine) Load(p int64, data []byte) error {
@@ -278,19 +288,41 @@ func (e *Engine) Recover() error {
 	}
 	e.nextChunk = nextChunk
 	e.replayed = int64(len(entries))
+	e.journal.Emit(obs.JournalRecord{Event: "scan", Engine: e.Name(), N: e.replayed})
 	committed := map[uint64]bool{}
 	for _, en := range entries {
 		if en.typ == entryCommit {
 			committed[en.txn] = true
 		}
 	}
+	// Journal the classification in first-appearance (replay) order — never
+	// by iterating the committed map, whose order is nondeterministic.
+	if e.journal != nil {
+		seen := map[uint64]bool{}
+		for _, en := range entries {
+			if seen[en.txn] {
+				continue
+			}
+			seen[en.txn] = true
+			ev := "loser"
+			if committed[en.txn] {
+				ev = "winner"
+			}
+			e.journal.Emit(obs.JournalRecord{Event: ev, Txn: en.txn})
+		}
+	}
 	e.view = make(map[int64]version)
 	e.adds, e.dels = 0, 0
+	var applied int64
 	for _, en := range entries {
 		if committed[en.txn] {
 			e.applyCommitted([]entry{en})
+			if en.typ != entryCommit {
+				applied++
+			}
 		}
 	}
+	e.journal.Emit(obs.JournalRecord{Event: "replay", Engine: e.Name(), N: applied})
 	e.att = make(map[uint64][]entry)
 	e.volatile = nil
 	return nil
@@ -349,12 +381,15 @@ func (e *Engine) Merge() error {
 	// base. Deleting ascending would instead leave a hole at chunk 0 with
 	// stale chunks above it — a later force would fill the hole and recovery
 	// would replay the stale tail on top of newer data.
+	truncated := e.nextChunk
 	for seq := e.nextChunk - 1; seq >= 0; seq-- {
 		if err := e.store.Delete(chunkPage(seq)); err != nil {
 			return err
 		}
 	}
 	e.nextChunk = 0
+	e.journal.Emit(obs.JournalRecord{Event: "merge", Engine: e.Name(), N: int64(len(pages))})
+	e.journal.Emit(obs.JournalRecord{Event: "truncate", Engine: e.Name(), N: truncated})
 	e.view = make(map[int64]version)
 	e.merges++
 	return nil

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
+	"repro/internal/obs/live"
 )
 
 // The recovery kernels (internal/wal, internal/shadoweng, internal/diffeng)
@@ -32,6 +34,13 @@ type StatsSource interface {
 	Stats() map[string]int64
 }
 
+// Journaled is implemented by kernels that can emit a structured recovery
+// journal (internal/wal, internal/shadoweng, internal/diffeng). The sink is
+// nil-safe: passing nil detaches the journal.
+type Journaled interface {
+	SetJournal(*obs.Journal)
+}
+
 // ErrUnsupported is returned by Guard maintenance methods when the wrapped
 // kernel has no such operation.
 var ErrUnsupported = fmt.Errorf("engine: operation not supported by this recovery kernel")
@@ -43,6 +52,12 @@ var ErrUnsupported = fmt.Errorf("engine: operation not supported by this recover
 type Guard struct {
 	mu sync.Mutex
 	rm RecoveryManager
+
+	// mx is the optional runtime contention profile. It is attached with
+	// SetMetrics through an atomic pointer so hot paths read it without
+	// extending the guarded section; a nil profile makes every token
+	// operation a no-op.
+	mx atomic.Pointer[live.GuardMetrics]
 
 	reads, writes obs.Counter
 	begins        obs.Counter
@@ -71,70 +86,97 @@ func (g *Guard) Name() string { return g.rm.Name() }
 
 // Load populates page p before transactions run.
 func (g *Guard) Load(p int64, data []byte) error {
+	tok := g.mx.Load().Enter(live.GuardOther)
 	g.mu.Lock()
+	tok.Acquired()
 	defer g.mu.Unlock()
+	defer tok.Release()
 	return g.rm.Load(p, data)
 }
 
 // Begin starts transaction tid.
 func (g *Guard) Begin(tid uint64) error {
+	tok := g.mx.Load().Enter(live.GuardBegin)
 	g.mu.Lock()
+	tok.Acquired()
 	defer g.mu.Unlock()
+	defer tok.Release()
 	g.begins.Inc()
 	return g.rm.Begin(tid)
 }
 
 // Read returns page p as seen by tid.
 func (g *Guard) Read(tid uint64, p int64) ([]byte, error) {
+	tok := g.mx.Load().Enter(live.GuardRead)
 	g.mu.Lock()
+	tok.Acquired()
 	defer g.mu.Unlock()
+	defer tok.Release()
 	g.reads.Inc()
 	return g.rm.Read(tid, p)
 }
 
 // Write replaces page p on behalf of tid.
 func (g *Guard) Write(tid uint64, p int64, data []byte) error {
+	tok := g.mx.Load().Enter(live.GuardWrite)
 	g.mu.Lock()
+	tok.Acquired()
 	defer g.mu.Unlock()
+	defer tok.Release()
 	g.writes.Inc()
 	return g.rm.Write(tid, p, data)
 }
 
 // Commit makes tid durable.
 func (g *Guard) Commit(tid uint64) error {
+	tok := g.mx.Load().Enter(live.GuardCommit)
 	g.mu.Lock()
+	tok.Acquired()
 	defer g.mu.Unlock()
+	defer tok.Release()
 	g.commits.Inc()
 	return g.rm.Commit(tid)
 }
 
 // Abort rolls tid back.
 func (g *Guard) Abort(tid uint64) error {
+	tok := g.mx.Load().Enter(live.GuardAbort)
 	g.mu.Lock()
+	tok.Acquired()
 	defer g.mu.Unlock()
+	defer tok.Release()
 	g.aborts.Inc()
 	return g.rm.Abort(tid)
 }
 
 // Crash simulates power loss on the kernel.
 func (g *Guard) Crash() {
+	tok := g.mx.Load().Enter(live.GuardOther)
 	g.mu.Lock()
+	tok.Acquired()
 	defer g.mu.Unlock()
+	defer tok.Release()
 	g.rm.Crash()
 }
 
 // Recover runs restart recovery on the kernel.
 func (g *Guard) Recover() error {
+	tok := g.mx.Load().Enter(live.GuardRecover)
 	g.mu.Lock()
+	tok.Acquired()
 	defer g.mu.Unlock()
+	defer tok.Release()
 	g.recoveries.Inc()
 	return g.rm.Recover()
 }
 
 // ReadCommitted reads the committed contents of page p.
 func (g *Guard) ReadCommitted(p int64) ([]byte, error) {
+	tok := g.mx.Load().Enter(live.GuardOther)
 	g.mu.Lock()
+	tok.Acquired()
 	defer g.mu.Unlock()
+	defer tok.Release()
 	return g.rm.ReadCommitted(p)
 }
 
@@ -143,8 +185,11 @@ func (g *Guard) ReadCommitted(p int64) ([]byte, error) {
 // checkpoint of the WAL kernel). Returns ErrUnsupported for kernels
 // without one.
 func (g *Guard) Checkpoint() error {
+	tok := g.mx.Load().Enter(live.GuardCheckpoint)
 	g.mu.Lock()
+	tok.Acquired()
 	defer g.mu.Unlock()
+	defer tok.Release()
 	cp, ok := g.rm.(Checkpointer)
 	if !ok {
 		return ErrUnsupported
@@ -158,8 +203,11 @@ func (g *Guard) Checkpoint() error {
 // kernels without one; the kernel itself may also refuse (diffeng requires
 // quiescence).
 func (g *Guard) Merge() error {
+	tok := g.mx.Load().Enter(live.GuardMerge)
 	g.mu.Lock()
+	tok.Acquired()
 	defer g.mu.Unlock()
+	defer tok.Release()
 	mg, ok := g.rm.(Merger)
 	if !ok {
 		return ErrUnsupported
@@ -171,8 +219,11 @@ func (g *Guard) Merge() error {
 // Stats reports the wrapped kernel's counters (empty for kernels without
 // any), taken under the guard lock.
 func (g *Guard) Stats() map[string]int64 {
+	tok := g.mx.Load().Enter(live.GuardOther)
 	g.mu.Lock()
+	tok.Acquired()
 	defer g.mu.Unlock()
+	defer tok.Release()
 	if ss, ok := g.rm.(StatsSource); ok {
 		return ss.Stats()
 	}
@@ -206,4 +257,28 @@ func (g *Guard) OpCountKeys() []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// SetMetrics attaches (or with nil detaches) a runtime contention profile.
+// The attachment itself is atomic and may race with in-flight operations;
+// an operation observes either the old or the new profile, never a torn
+// one.
+func (g *Guard) SetMetrics(m *live.GuardMetrics) { g.mx.Store(m) }
+
+// Metrics returns the attached contention profile (nil when none).
+func (g *Guard) Metrics() *live.GuardMetrics { return g.mx.Load() }
+
+// SetJournal attaches (or with nil detaches) a structured recovery journal
+// to the wrapped kernel, under the guard lock so the single-threaded kernel
+// never sees the sink change mid-operation. Returns ErrUnsupported for
+// kernels that do not journal.
+func (g *Guard) SetJournal(j *obs.Journal) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	jk, ok := g.rm.(Journaled)
+	if !ok {
+		return ErrUnsupported
+	}
+	jk.SetJournal(j)
+	return nil
 }

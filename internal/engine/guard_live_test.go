@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/live"
+	"repro/internal/wal"
+)
+
+// TestGuardMetricsAndJournal drives a WAL engine with the contention
+// profile and recovery journal attached, and checks both observe the run:
+// per-op wait/hold samples land in the right histograms, and recovery
+// decisions appear in the journal in order.
+func TestGuardMetricsAndJournal(t *testing.T) {
+	e := NewWAL(wal.Config{})
+	gm := live.NewGuardMetrics(live.Wall())
+	e.Guard().SetMetrics(gm)
+	if e.Guard().Metrics() != gm {
+		t.Fatal("Metrics() does not round-trip")
+	}
+	j := obs.NewJournal()
+	if err := e.Guard().SetJournal(j); err != nil {
+		t.Fatalf("SetJournal: %v", err)
+	}
+
+	txn, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Write(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	loser, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loser.Write(2, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	// A second committer forces every stream, making the loser's buffered
+	// update durable — so recovery must classify it a loser and undo it.
+	forcer, err := e.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := forcer.Write(3, []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := forcer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	e.Crash()
+	if err := e.Recover(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		op   live.GuardOp
+		want int64
+	}{
+		{live.GuardBegin, 3},
+		{live.GuardWrite, 3},
+		{live.GuardCommit, 2},
+		{live.GuardRecover, 1},
+	} {
+		if got := gm.Wait(tc.op).Count(); got != tc.want {
+			t.Errorf("%s wait samples = %d, want %d", tc.op, got, tc.want)
+		}
+		if got := gm.Hold(tc.op).Count(); got != tc.want {
+			t.Errorf("%s hold samples = %d, want %d", tc.op, got, tc.want)
+		}
+	}
+	if gm.Waiters() != 0 {
+		t.Errorf("waiters after quiescence = %d", gm.Waiters())
+	}
+
+	if j.Len() == 0 {
+		t.Fatal("journal empty after recovery")
+	}
+	events := map[string]int{}
+	for _, r := range j.Records() {
+		events[r.Event]++
+	}
+	for _, ev := range []string{"scan", "winner", "loser", "redo"} {
+		if events[ev] == 0 {
+			t.Errorf("journal has no %q record (events: %v)", ev, events)
+		}
+	}
+	var buf bytes.Buffer
+	if err := j.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("journal rendered empty")
+	}
+
+	// Detach both; further traffic must be invisible.
+	e.Guard().SetMetrics(nil)
+	if err := e.Guard().SetJournal(nil); err != nil {
+		t.Fatal(err)
+	}
+	n := j.Len()
+	if err := e.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != n {
+		t.Error("journal grew after detach")
+	}
+	if got := gm.Wait(live.GuardRecover).Count(); got != 1 {
+		t.Errorf("metrics grew after detach: recover wait count %d", got)
+	}
+}
+
+// TestSetJournalUnsupported covers kernels without a journal via a stub.
+func TestSetJournalUnsupported(t *testing.T) {
+	g := NewGuard(stubRM{})
+	if err := g.SetJournal(obs.NewJournal()); err != ErrUnsupported {
+		t.Fatalf("SetJournal on journal-less kernel: %v, want ErrUnsupported", err)
+	}
+}
+
+type stubRM struct{}
+
+func (stubRM) Name() string                        { return "stub" }
+func (stubRM) Load(int64, []byte) error            { return nil }
+func (stubRM) Begin(uint64) error                  { return nil }
+func (stubRM) Read(uint64, int64) ([]byte, error)  { return nil, nil }
+func (stubRM) Write(uint64, int64, []byte) error   { return nil }
+func (stubRM) Commit(uint64) error                 { return nil }
+func (stubRM) Abort(uint64) error                  { return nil }
+func (stubRM) Crash()                              {}
+func (stubRM) Recover() error                      { return nil }
+func (stubRM) ReadCommitted(int64) ([]byte, error) { return nil, nil }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"repro/internal/diffeng"
+	"repro/internal/obs"
 	"repro/internal/pagestore"
 	"repro/internal/shadoweng"
 	"repro/internal/wal"
@@ -21,6 +22,7 @@ func (a walAdapter) Crash()                       { a.m.Crash() }
 func (a walAdapter) Recover() error               { return a.m.Recover() }
 func (a walAdapter) Checkpoint() error            { return a.m.Checkpoint() }
 func (a walAdapter) Stats() map[string]int64      { return a.m.Stats() }
+func (a walAdapter) SetJournal(j *obs.Journal)    { a.m.SetJournal(j) }
 func (a walAdapter) Read(tid uint64, p int64) ([]byte, error) {
 	return a.m.Read(tid, pagestore.PageID(p))
 }

@@ -1,0 +1,82 @@
+package faultinj
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateJournal = flag.Bool("update", false, "rewrite journal golden files")
+
+// TestJournalPointGolden pins the recovery journal of one seeded WAL crash
+// point byte-for-byte: the journal is a pure function of (target, seed, k),
+// so its JSONL must never drift without an intentional kernel change.
+// Regenerate with go test ./internal/faultinj -run JournalPointGolden -update.
+func TestJournalPointGolden(t *testing.T) {
+	tg := Targets()[0] // wal-1stream
+	opt := Options{Seed: 7}
+	j, rep, err := JournalPoint(tg, opt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) != 0 {
+		t.Fatalf("audits failed at the journalled point: %v", rep.Failures)
+	}
+	if j.Len() == 0 {
+		t.Fatal("journal empty")
+	}
+
+	var buf bytes.Buffer
+	if err := j.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "journal_wal1stream_seed7_k3.jsonl")
+	if *updateJournal {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("journal drifted from golden\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// Determinism: replaying the same point journals identically.
+	j2, _, err := JournalPoint(tg, opt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := j2.WriteJSONL(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two replays of the same crash point journal differently")
+	}
+}
+
+// TestJournalPointEveryTarget proves a journal can attach to any target in
+// the lineup and captures at least the recovery pass.
+func TestJournalPointEveryTarget(t *testing.T) {
+	for _, tg := range Targets() {
+		j, rep, err := JournalPoint(tg, Options{Seed: 3}, 2)
+		if err != nil {
+			t.Errorf("%s: %v", tg.Name, err)
+			continue
+		}
+		if len(rep.Failures) != 0 {
+			t.Errorf("%s: audits failed: %v", tg.Name, rep.Failures)
+		}
+		if j.Len() == 0 {
+			t.Errorf("%s: journal empty after crash/recover", tg.Name)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/obs/live"
 	"repro/internal/recovery/difffile"
 	"repro/internal/recovery/logging"
 	"repro/internal/recovery/shadow"
@@ -23,6 +24,9 @@ type MachineOptions struct {
 	// own machines and results are assembled in instant order, so any value
 	// renders a byte-identical report.
 	Jobs int
+	// Progress, when non-nil, receives live completion counts (one unit per
+	// audited crash instant). It never touches the report.
+	Progress *live.Progress
 }
 
 func (o MachineOptions) withDefaults() MachineOptions {
@@ -119,7 +123,9 @@ func SweepMachineModel(name string, mk func() machine.Model, opt MachineOptions)
 		agreed    bool // twin runs agreed (monotonicity uses only agreed cuts)
 		failures  []string
 	}
+	opt.Progress.AddTotal(int64(opt.Points))
 	outcomes, err := runpool.Map(opt.Jobs, opt.Points, func(i int) (*instantOutcome, error) {
+		defer opt.Progress.Add(1)
 		t := sim.Time(int64(full.SimTime) * int64(i+1) / int64(opt.Points))
 		po := &instantOutcome{}
 		m1, err := machine.New(cfg, mk())

@@ -6,6 +6,8 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/obs/live"
 	"repro/internal/pagestore"
 	"repro/internal/runpool"
 	"repro/internal/shadoweng"
@@ -104,6 +106,11 @@ type Options struct {
 	// and stores, and outcomes are assembled in point order, so any value
 	// renders a byte-identical report.
 	Jobs int
+	// Progress, when non-nil, receives live completion counts (one unit per
+	// audited crash point). It feeds the -live /progress endpoint and the
+	// stderr ticker; it never touches the report, which stays
+	// byte-identical with or without it.
+	Progress *live.Progress
 }
 
 func (o Options) withDefaults() Options {
@@ -171,8 +178,11 @@ func SweepTarget(tg Target, opt Options) (*TargetReport, error) {
 	for k := int64(1); k <= rep.Mutations; k += opt.Every {
 		points = append(points, k)
 	}
+	opt.Progress.AddTotal(int64(len(points)))
 	outcomes, err := runpool.Map(opt.Jobs, len(points), func(i int) (*pointOutcome, error) {
-		return sweepPoint(tg, opt, points[i])
+		po, err := sweepPoint(tg, opt, points[i], nil)
+		opt.Progress.Add(1)
+		return po, err
 	})
 	if err != nil {
 		return nil, err
@@ -212,12 +222,19 @@ func (po *pointOutcome) fail(target string, k int64, format string, args ...any)
 
 // sweepPoint audits one crash point: cut power at the k-th stable mutation,
 // crash recovery itself at a k-derived operation, finish recovery, then
-// audit state, idempotence, and liveness.
-func sweepPoint(tg Target, opt Options, k int64) (*pointOutcome, error) {
+// audit state, idempotence, and liveness. A non-nil journal is attached to
+// the engine's kernel before the run, so it records the checkpoint and
+// recovery decisions of exactly this point.
+func sweepPoint(tg Target, opt Options, k int64, journal *obs.Journal) (*pointOutcome, error) {
 	po := &pointOutcome{}
 	e, stores, err := tg.Build()
 	if err != nil {
 		return nil, fmt.Errorf("faultinj: build %s: %w", tg.Name, err)
+	}
+	if journal != nil {
+		if err := e.Guard().SetJournal(journal); err != nil {
+			return nil, fmt.Errorf("faultinj: %s does not journal: %w", tg.Name, err)
+		}
 	}
 	model, err := LoadPages(e, opt.Pages)
 	if err != nil {
@@ -263,6 +280,32 @@ func sweepPoint(tg Target, opt Options, k int64) (*pointOutcome, error) {
 	po.failures = append(po.failures, prefix(tg.Name, k, AuditIdempotence(e, opt.Pages))...)
 	po.failures = append(po.failures, prefix(tg.Name, k, AuditLiveness(e, opt.Pages))...)
 	return po, nil
+}
+
+// JournalPoint replays one crash point of tg with a recovery journal
+// attached and returns the journal plus the point's audited outcome. The
+// replay is the exact computation the sweep runs at point k — same build,
+// same script, same re-crash schedule — so the journal is the
+// deterministic record of what recovery decided there: same seed and k,
+// byte-identical JSONL.
+func JournalPoint(tg Target, opt Options, k int64) (*obs.Journal, *TargetReport, error) {
+	opt = opt.withDefaults()
+	j := obs.NewJournal()
+	po, err := sweepPoint(tg, opt, k, j)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &TargetReport{Target: tg.Name, Points: 1, Commits: po.commits, Failures: po.failures}
+	if po.recrashed {
+		rep.Recrashes = 1
+	}
+	if po.doubtApplied {
+		rep.DoubtApplied = 1
+	}
+	if po.doubtReverted {
+		rep.DoubtReverted = 1
+	}
+	return j, rep, nil
 }
 
 func prefix(target string, k int64, fails []string) []string {

@@ -9,7 +9,10 @@
 // golang.org/x/tools) and reports violations of five rules:
 //
 //	D001  no wall-clock time (time.Now, time.Since, time.Sleep, timers)
-//	      in simulation packages — virtual clock only.
+//	      in simulation packages — virtual clock only. The runtime
+//	      observability layer internal/obs/live is excluded by scope: it
+//	      is the single place allowed to read the host clock, and every
+//	      other package reaches wall time through its Clock interface.
 //	D002  no global math/rand top-level functions — all randomness must
 //	      flow through the seeded sim.RNG (constructors like rand.New
 //	      and rand.NewSource are allowed).
@@ -23,6 +26,11 @@
 //	      internal/recovery/..., internal/shadoweng, internal/diffeng,
 //	      internal/wal) — the kernel is single-threaded by design;
 //	      concurrency lives in the wrapper layer (internal/engine.Guard).
+//	      Kernel packages also must not import the wrapper layer itself:
+//	      importing internal/engine, internal/lockmgr, internal/runpool,
+//	      or internal/obs/live from kernel scope is a violation even if
+//	      no symbol is used, so runtime instrumentation can never leak
+//	      below the Guard boundary.
 //	D005  no os.Getenv / os.Stdout side channels in internal/
 //	      libraries — configuration comes through machine.Config and
 //	      output through injected io.Writers.
@@ -64,12 +72,15 @@ func (d Diagnostic) String() string {
 }
 
 // RuleInfo describes one rule and the package subtree(s) it applies to.
-// Scope entries are module-relative paths; a trailing "/..." matches the
-// whole subtree.
+// Scope and Exclude entries are module-relative paths; a trailing "/..."
+// matches the whole subtree. A package matching any Exclude entry is out
+// of scope even when a Scope entry matches it — carve-outs are part of
+// the rule table, never per-line suppressions.
 type RuleInfo struct {
-	ID    string
-	Short string
-	Scope []string
+	ID      string
+	Short   string
+	Scope   []string
+	Exclude []string
 }
 
 // Rules is the rule table, in ID order. The D004 scope pins the
@@ -87,6 +98,11 @@ var Rules = []RuleInfo{
 		ID:    "D001",
 		Short: "no wall-clock time in simulation packages (virtual clock only)",
 		Scope: []string{"internal/...", "cmd/..."},
+		// internal/obs/live is the runtime observability layer: the one
+		// place that is *supposed* to read the host clock. Everything else
+		// reaches wall time only through its Clock interface, so the
+		// carve-out is a scope rule, not a scatter of suppressions.
+		Exclude: []string{"internal/obs/live"},
 	},
 	{
 		ID:    "D002",
@@ -215,6 +231,11 @@ func scopeMatch(pat, rel string) bool {
 }
 
 func inScope(r RuleInfo, rel string) bool {
+	for _, pat := range r.Exclude {
+		if scopeMatch(pat, rel) {
+			return false
+		}
+	}
 	for _, pat := range r.Scope {
 		if scopeMatch(pat, rel) {
 			return true

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -31,9 +32,8 @@ type Package struct {
 // loader parses and type-checks packages with only the standard library.
 // Module-local imports ("repro/internal/...") are resolved by mapping the
 // import path back onto the module directory tree and type-checking that
-// directory recursively; everything else (the standard library) is
-// delegated to the gc source importer, which type-checks $GOROOT/src
-// directly and therefore needs no pre-compiled export data.
+// directory recursively; everything else (the standard library) goes to
+// stdImporter, which type-checks $GOROOT/src signatures-only.
 type loader struct {
 	root    string
 	modPath string
@@ -50,11 +50,98 @@ func newLoader(root string) *loader {
 		root:    root,
 		modPath: modulePath(root),
 		fset:    fset,
-		std:     importer.ForCompiler(fset, "source", nil),
+		std:     newStdImporter(fset),
 		byDir:   map[string]*Package{},
 		byPath:  map[string]*types.Package{},
 		loading: map[string]bool{},
 	}
+}
+
+// stdImporter type-checks standard-library packages from $GOROOT/src with
+// IgnoreFuncBodies: the analyzed module only needs the API surface of its
+// std imports (exported signatures and types), so skipping every std
+// function body cuts the wall-clock cost of a full simlint run severely —
+// see docs/LINTING.md for the measured numbers. Packages that fail the
+// fast path for any reason fall back to the gc source importer, which
+// checks bodies too but is always correct.
+type stdImporter struct {
+	fset     *token.FileSet
+	pkgs     map[string]*types.Package
+	loading  map[string]bool
+	fallback types.Importer
+}
+
+func newStdImporter(fset *token.FileSet) *stdImporter {
+	return &stdImporter{
+		fset:     fset,
+		pkgs:     map[string]*types.Package{},
+		loading:  map[string]bool{},
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer for the standard library.
+func (si *stdImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := si.pkgs[path]; ok {
+		return p, nil
+	}
+	if si.loading[path] {
+		return nil, fmt.Errorf("lint: std import cycle through %q", path)
+	}
+	si.loading[path] = true
+	defer delete(si.loading, path)
+
+	tpkg, err := si.check(path)
+	if tpkg == nil {
+		// Fast path failed outright; let the source importer try. It
+		// resolves its own dependency graph, so anything it returns is
+		// complete and safe to memoize.
+		tpkg, err = si.fallback.Import(path)
+		if tpkg == nil {
+			return nil, err
+		}
+	}
+	si.pkgs[path] = tpkg
+	return tpkg, nil
+}
+
+// check type-checks one $GOROOT/src package signatures-only. Soft type
+// errors (cgo references, build-tag residue) are tolerated; only a wholly
+// unparseable package returns nil.
+func (si *stdImporter) check(path string) (*types.Package, error) {
+	dir := filepath.Join(build.Default.GOROOT, "src", filepath.FromSlash(path))
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		// net/http and friends import vendored golang.org/x packages.
+		dir = filepath.Join(build.Default.GOROOT, "src", "vendor", filepath.FromSlash(path))
+		if bp, err = build.Default.ImportDir(dir, 0); err != nil {
+			return nil, err
+		}
+	}
+	names := append(append([]string{}, bp.GoFiles...), bp.CgoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(si.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer:         si,
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		Error:            func(error) {},
+	}
+	tpkg, err := conf.Check(path, si.fset, files, nil)
+	if tpkg == nil {
+		return nil, err
+	}
+	return tpkg, nil
 }
 
 // modulePath reads the module path from root/go.mod, defaulting to

@@ -44,6 +44,29 @@ var osStreams = map[string]bool{"Stdout": true, "Stderr": true, "Stdin": true}
 // is the wrapper layer's job (internal/engine.Guard).
 var syncPackages = map[string]bool{"sync": true, "sync/atomic": true}
 
+// wrapperImportSuffixes are the runtime/wrapper-layer packages D004 bans
+// as imports in kernel scope, matched as module-relative path suffixes so
+// the check works for any module name (including the fixture corpus). The
+// kernel may depend on the deterministic observation layer (internal/obs,
+// whose Journal is a pure ordered log), but never on the concurrency
+// wrapper or the wall-clock metrics layer above it.
+var wrapperImportSuffixes = []string{
+	"internal/engine",
+	"internal/lockmgr",
+	"internal/runpool",
+	"internal/obs/live",
+}
+
+// wrapperImport reports the banned suffix importPath matches, if any.
+func wrapperImport(importPath string) (string, bool) {
+	for _, suf := range wrapperImportSuffixes {
+		if importPath == suf || strings.HasSuffix(importPath, "/"+suf) {
+			return suf, true
+		}
+	}
+	return "", false
+}
+
 // sensitivePrefixes / sensitiveExact classify callee names whose effects
 // are order-sensitive when executed under a map iteration: output
 // emission, event scheduling, stateful mutation of metrics or stores.
@@ -102,6 +125,7 @@ func checkPackage(pkg *Package, enabled map[string]bool) []Diagnostic {
 		for _, r := range Rules {
 			c.active[r.ID] = enabled[r.ID] && inScope(r, rel)
 		}
+		c.checkKernelImports()
 		c.walk()
 		out = append(out, applySuppressions(c.diags, dirs)...)
 	}
@@ -254,6 +278,23 @@ func (c *checker) checkSyncRef(sel *ast.SelectorExpr) {
 	}
 	if pkgPath, name, ok := c.pkgQualified(sel); ok && syncPackages[pkgPath] {
 		c.kernelViolation(sel.Pos(), fmt.Sprintf("use of %s.%s", path.Base(pkgPath), name))
+	}
+}
+
+// checkKernelImports implements the import half of D004: a kernel-scope
+// file must not import the wrapper/runtime layer at all — not even with a
+// blank import — so instrumentation hooks can only be injected from above
+// the Guard boundary, never compiled into the kernel.
+func (c *checker) checkKernelImports() {
+	if !c.active["D004"] {
+		return
+	}
+	for _, imp := range c.file.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if suf, banned := wrapperImport(p); banned {
+			c.kernelViolation(imp.Pos(), fmt.Sprintf(
+				"import of %q (wrapper/runtime layer %s)", p, suf))
+		}
 	}
 }
 

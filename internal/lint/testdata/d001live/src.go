@@ -1,0 +1,21 @@
+// Package fixture shows D001's scope carve-out: posing as the runtime
+// observability layer internal/obs/live — the one package allowed to read
+// the host clock — none of these wall-clock reads diagnose. The same
+// calls posed anywhere else under internal/ are violations (testdata/d001
+// pins that side of the boundary).
+//
+//simlint:path internal/obs/live
+package fixture
+
+import "time"
+
+// Stamp reads the host clock; legal only inside internal/obs/live.
+func Stamp() time.Time { return time.Now() }
+
+// AgeMS measures elapsed wall time since start.
+func AgeMS(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
+}
+
+// Ticker blocks on host time; legal here, banned in simulation scope.
+func Ticker(d time.Duration) *time.Ticker { return time.NewTicker(d) }

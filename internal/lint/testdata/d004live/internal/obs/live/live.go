@@ -1,0 +1,10 @@
+// Package live is a stand-in for the runtime metrics layer so the
+// d004live fixture can exercise D004's wrapper-import ban against an
+// import path that actually resolves (matched by suffix internal/obs/live).
+package live
+
+// Counter is a minimal stand-in for the real lock-free counter.
+type Counter struct{ v int64 }
+
+// Add bumps the counter.
+func (c *Counter) Add(d int64) { c.v += d }

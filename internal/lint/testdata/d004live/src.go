@@ -1,0 +1,14 @@
+// Package fixture shows the import half of D004: a kernel-scope package
+// must not import the wrapper/runtime layer at all. Posing as
+// internal/wal (a pure recovery kernel), even a blank import of the
+// runtime metrics layer diagnoses — instrumentation is injected from
+// above the Guard boundary, never compiled into the kernel.
+//
+//simlint:path internal/wal
+package fixture
+
+import _ "fixture/d004live/internal/obs/live"
+
+// Redo is a stand-in kernel entry point; the violation is the import
+// above, not anything this file does.
+func Redo() {}

@@ -1,0 +1,11 @@
+// The same import one layer up: posed as internal/engine (the wrapper),
+// depending on the runtime metrics layer is exactly what the wrapper is
+// for, and nothing here diagnoses.
+//
+//simlint:path internal/engine
+package fixture
+
+import "fixture/d004live/internal/obs/live"
+
+// Count ticks a runtime counter; allowed outside the kernel scope.
+func Count(c *live.Counter) { c.Add(1) }

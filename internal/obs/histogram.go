@@ -55,6 +55,26 @@ func lowerBound(i int) float64 {
 	return histLo * math.Exp(float64(i)*histLogGrowth)
 }
 
+// The bucket layout is shared with the runtime metrics layer
+// (internal/obs/live), whose lock-free histograms must bucket wall-clock
+// samples exactly like this package buckets virtual-time samples so the two
+// layers' percentiles are comparable. These exports are the single source
+// of truth for that math.
+
+// HistogramBucketCount is the number of fixed log-scaled buckets every
+// histogram in this repository uses.
+const HistogramBucketCount = histBuckets
+
+// HistogramBucketIndex maps a sample (in ms) to its bucket index.
+func HistogramBucketIndex(v float64) int { return bucketOf(v) }
+
+// HistogramBucketLower reports the lower edge of bucket i, in ms.
+func HistogramBucketLower(i int) float64 { return lowerBound(i) }
+
+// HistogramLogGrowth reports ln g for the bucket growth factor g = 2^(1/4),
+// the constant behind geometric interpolation within a bucket.
+func HistogramLogGrowth() float64 { return histLogGrowth }
+
 // Observe records one sample. Non-positive samples land in the lowest
 // bucket (their exact values still shape Min/Mean).
 func (h *Histogram) Observe(v float64) {

@@ -1,0 +1,126 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Progress tracks completion of a long-running batch (a crash sweep, a
+// benchmark grid) for the /progress endpoint and the stderr ticker. All
+// methods are safe for concurrent use, and a nil *Progress is a valid
+// no-op sink.
+type Progress struct {
+	clock Clock
+	label string
+	start time.Time
+	done  atomic.Int64
+	total atomic.Int64
+}
+
+// NewProgress returns a progress tracker started now on clock.
+func NewProgress(clock Clock, label string) *Progress {
+	return &Progress{clock: clock, label: label, start: clock.Now()}
+}
+
+// AddTotal grows the expected number of work items (no-op on nil).
+func (p *Progress) AddTotal(n int64) {
+	if p != nil {
+		p.total.Add(n)
+	}
+}
+
+// Add records n completed work items (no-op on nil).
+func (p *Progress) Add(n int64) {
+	if p != nil {
+		p.done.Add(n)
+	}
+}
+
+// ProgressSnap is the point-in-time state of a Progress, as served by
+// /progress.
+type ProgressSnap struct {
+	Label     string  `json:"label"`
+	Done      int64   `json:"done"`
+	Total     int64   `json:"total"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// EtaMs linearly extrapolates the remaining time from throughput so
+	// far; -1 when nothing has completed yet or the total is unknown.
+	EtaMs float64 `json:"eta_ms"`
+}
+
+// Snapshot reports the current progress state.
+func (p *Progress) Snapshot() ProgressSnap {
+	if p == nil {
+		return ProgressSnap{EtaMs: -1}
+	}
+	done, total := p.done.Load(), p.total.Load()
+	elapsed := float64(p.clock.Now().Sub(p.start)) / float64(time.Millisecond)
+	eta := -1.0
+	if done > 0 && total > done {
+		eta = elapsed / float64(done) * float64(total-done)
+	}
+	return ProgressSnap{
+		Label:     p.label,
+		Done:      done,
+		Total:     total,
+		ElapsedMs: elapsed,
+		EtaMs:     eta,
+	}
+}
+
+// String renders the snapshot as the one-line ticker format, e.g.
+// "sweep 128/682 (18.8%) elapsed 12s eta 41s".
+func (s ProgressSnap) String() string {
+	pct := 0.0
+	if s.Total > 0 {
+		pct = float64(s.Done) / float64(s.Total) * 100
+	}
+	line := fmt.Sprintf("%s %d/%d (%.1f%%) elapsed %s", s.Label, s.Done, s.Total, pct,
+		roundSec(s.ElapsedMs))
+	if s.EtaMs >= 0 {
+		line += " eta " + roundSec(s.EtaMs)
+	}
+	return line
+}
+
+func roundSec(ms float64) string {
+	return (time.Duration(ms*float64(time.Millisecond)) / time.Second * time.Second).String()
+}
+
+// MarshalJSON renders the snapshot (convenience for the /progress handler).
+func (p *Progress) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.Snapshot())
+}
+
+// StartTicker prints the progress line to w every interval until the
+// returned stop function is called (which prints one final line). Intended
+// for stderr on long sweeps; callers keeping reports byte-identical must
+// point it at stderr only, never at report writers.
+func (p *Progress) StartTicker(w io.Writer, interval time.Duration) (stop func()) {
+	if p == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintln(w, p.Snapshot().String())
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		fmt.Fprintln(w, p.Snapshot().String())
+	}
+}

@@ -1,0 +1,234 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a concurrency-safe namespace of runtime metrics, identified
+// by dotted names ("runpool.task.ms", "guard.read.wait_ms"). Metric
+// creation takes a mutex; the returned metric objects are lock-free, so hot
+// paths look a metric up once and hold the pointer.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// defaultRegistry is the process-wide registry the -live HTTP surface
+// serves. Library instrumentation (internal/runpool) records here so any
+// command can expose it without plumbing.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// A Collector contributes externally-owned metrics to a registry snapshot
+// at scrape time (the pattern GuardMetrics uses: it owns fixed per-op
+// histogram arrays for lock-freedom and renders them on demand).
+type Collector interface {
+	Collect(s *Snapshot)
+}
+
+// AddCollector registers c; every Snapshot will include its metrics.
+func (r *Registry) AddCollector(c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// Snapshot is a point-in-time copy of every metric. Maps keep the dotted
+// metric names; rendering sorts them, so two snapshots of identical state
+// render identically.
+type Snapshot struct {
+	Counters   map[string]int64     `json:"counters"`
+	Gauges     map[string]GaugeSnap `json:"gauges"`
+	Histograms map[string]HistSnap  `json:"histograms"`
+}
+
+// GaugeSnap is the snapshot of one gauge.
+type GaugeSnap struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// NewSnapshot returns an empty snapshot for collectors to fill.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]GaugeSnap),
+		Histograms: make(map[string]HistSnap),
+	}
+}
+
+// PutCounter records a counter value into the snapshot.
+func (s *Snapshot) PutCounter(name string, v int64) { s.Counters[name] = v }
+
+// PutGauge records a gauge value into the snapshot.
+func (s *Snapshot) PutGauge(name string, g GaugeSnap) { s.Gauges[name] = g }
+
+// PutHist records a histogram summary into the snapshot.
+func (s *Snapshot) PutHist(name string, h HistSnap) { s.Histograms[name] = h }
+
+// Snapshot captures every metric (registry-owned and collector-owned). The
+// values are each read atomically but the set is not a consistent cut;
+// that is inherent to scraping live concurrent state.
+func (r *Registry) Snapshot() *Snapshot {
+	s := NewSnapshot()
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	collectors := append([]Collector(nil), r.collectors...)
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		s.Gauges[name] = GaugeSnap{Value: g.Value(), Max: g.Max()}
+	}
+	for name, h := range hists {
+		s.Histograms[name] = h.Snap()
+	}
+	for _, c := range collectors {
+		c.Collect(s)
+	}
+	return s
+}
+
+// promName maps a dotted metric name to a legal Prometheus metric name:
+// dots and every other illegal rune become underscores.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// promFloat formats a float the way Prometheus text exposition expects,
+// with the shortest round-trip representation (deterministic for a given
+// value).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format: counters and gauges as their native types, histograms as
+// summaries (quantile series plus _sum and _count). Names are emitted in
+// sorted order and floats with shortest round-trip formatting, so a given
+// snapshot renders to exactly one byte sequence — pinned by a golden test.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		g := s.Gauges[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n%s_max %d\n",
+			pn, pn, g.Value, pn, g.Max); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w,
+			"# TYPE %s summary\n%s{quantile=\"0.5\"} %s\n%s{quantile=\"0.95\"} %s\n%s{quantile=\"0.99\"} %s\n%s_sum %s\n%s_count %d\n",
+			pn,
+			pn, promFloat(h.P50),
+			pn, promFloat(h.P95),
+			pn, promFloat(h.P99),
+			pn, promFloat(h.Sum),
+			pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSON renders the snapshot as indented JSON (map keys sorted by
+// encoding/json, so deterministic for a given snapshot).
+func (s *Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

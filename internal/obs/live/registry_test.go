@@ -1,0 +1,128 @@
+package live
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestPrometheusGolden pins the Prometheus text exposition byte-for-byte:
+// deterministic inputs (ManualClock, fixed samples) must render exactly one
+// byte sequence, in sorted name order. Regenerate with
+// go test ./internal/obs/live -run Golden -update.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sweep.points").Add(682)
+	reg.Gauge("pool.inflight").Add(3)
+	reg.Gauge("pool.inflight").Add(-2)
+	h := reg.Histogram("task.ms")
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(4)
+
+	clock := NewManualClock(time.Unix(0, 0))
+	gm := NewGuardMetrics(clock)
+	tok := gm.Enter(GuardCommit)
+	clock.Advance(2 * time.Millisecond)
+	tok.Acquired()
+	clock.Advance(8 * time.Millisecond)
+	tok.Release()
+	reg.AddCollector(gm)
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Prometheus text drifted from golden\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Byte-determinism: two snapshots of identical state render identically.
+	var again bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, again.Bytes()) {
+		t.Error("two renders of the same state differ")
+	}
+
+	// Spot-check the load-bearing series so a golden drift failure
+	// pinpoints what changed.
+	text := string(got)
+	for _, series := range []string{
+		"# TYPE sweep_points counter\nsweep_points 682\n",
+		"# TYPE pool_inflight gauge\npool_inflight 1\npool_inflight_max 3\n",
+		"# TYPE guard_waiters gauge\nguard_waiters 0\nguard_waiters_max 1\n",
+		"guard_commit_wait_ms_sum 2\n",
+		"guard_commit_hold_ms_sum 8\n",
+		"task_ms_count 3\n",
+		`task_ms{quantile="0.5"} `,
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("missing series %q in:\n%s", series, text)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"guard.read.wait_ms": "guard_read_wait_ms",
+		"runpool.worker0":    "runpool_worker0",
+		"0starts.with.digit": "_starts_with_digit",
+		"ok_name":            "ok_name",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("x") != reg.Counter("x") {
+		t.Error("Counter not memoized")
+	}
+	if reg.Gauge("x") != reg.Gauge("x") {
+		t.Error("Gauge not memoized")
+	}
+	if reg.Histogram("x") != reg.Histogram("x") {
+		t.Error("Histogram not memoized")
+	}
+	if Default() == nil || Default() != Default() {
+		t.Error("Default registry not stable")
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a").Inc()
+	b, err := reg.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"a": 1`) {
+		t.Errorf("JSON missing counter: %s", b)
+	}
+}

@@ -1,0 +1,144 @@
+package live
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("served.requests").Add(7)
+	clock := NewManualClock(time.Unix(0, 0))
+	prog := NewProgress(clock, "sweep")
+	prog.AddTotal(10)
+	prog.Add(4)
+	clock.Advance(2 * time.Second)
+
+	s, err := Serve("127.0.0.1:0", reg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "served_requests 7") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body = get("/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress status %d", code)
+	}
+	for _, frag := range []string{`"label":"sweep"`, `"done":4`, `"total":10`, `"elapsed_ms":2000`, `"eta_ms":3000`} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("/progress missing %s:\n%s", frag, body)
+		}
+	}
+
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+	code, _ = get("/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestProgress(t *testing.T) {
+	clock := NewManualClock(time.Unix(0, 0))
+	p := NewProgress(clock, "bench")
+	p.AddTotal(100)
+	clock.Advance(10 * time.Second)
+	p.Add(25)
+	snap := p.Snapshot()
+	if snap.Done != 25 || snap.Total != 100 {
+		t.Fatalf("snap = %+v", snap)
+	}
+	if snap.ElapsedMs != 10000 {
+		t.Errorf("elapsed = %g ms", snap.ElapsedMs)
+	}
+	// 25 points in 10 s → 75 remaining at the same rate = 30 s.
+	if snap.EtaMs != 30000 {
+		t.Errorf("eta = %g ms, want 30000", snap.EtaMs)
+	}
+	line := snap.String()
+	if !strings.Contains(line, "bench 25/100 (25.0%)") || !strings.Contains(line, "eta 30s") {
+		t.Errorf("ticker line = %q", line)
+	}
+
+	// Nil progress is a valid no-op sink.
+	var nilp *Progress
+	nilp.Add(1)
+	nilp.AddTotal(1)
+	if s := nilp.Snapshot(); s.EtaMs != -1 || s.Done != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+	stop := nilp.StartTicker(io.Discard, time.Millisecond)
+	stop()
+}
+
+func TestProgressTicker(t *testing.T) {
+	clock := NewManualClock(time.Unix(0, 0))
+	p := NewProgress(clock, "tick")
+	p.AddTotal(2)
+	p.Add(1)
+	var sb safeWriter
+	stop := p.StartTicker(&sb, time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	out := sb.String()
+	if !strings.Contains(out, "tick 1/2 (50.0%)") {
+		t.Errorf("ticker output %q", out)
+	}
+	// Stop must have printed a final line and terminated the goroutine; a
+	// second stop-like read of the buffer should be stable.
+	n := len(out)
+	time.Sleep(10 * time.Millisecond)
+	if len(sb.String()) != n {
+		t.Error("ticker kept printing after stop")
+	}
+}
+
+// safeWriter is a mutex-guarded buffer: the ticker goroutine writes while
+// the test reads.
+type safeWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *safeWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *safeWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}

@@ -19,6 +19,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs/live"
 )
 
 // Jobs resolves a -jobs flag value to a concrete worker count: values < 1
@@ -59,9 +61,28 @@ func Run[T any](jobs int, tasks []func() (T, error)) ([]T, error) {
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	// Runtime metrics go to the process-wide registry; they never touch the
+	// task results, so they cannot leak scheduling into deterministic
+	// outputs. Task latency shares one histogram; busy time is per worker so
+	// /metrics shows load balance across the pool.
+	reg := live.Default()
+	clock := live.Wall()
+	taskMS := reg.Histogram("runpool.task_ms")
+	taskCount := reg.Counter("runpool.tasks")
+	inflight := reg.Gauge("runpool.inflight")
+	runOne := func(i int, busy *live.Counter) {
+		inflight.Add(1)
+		start := clock.Now()
+		out[i], errs[i] = runTask(tasks[i])
+		ms := taskMS.ObserveSince(clock, start)
+		busy.Add(int64(ms * 1000)) // µs resolution for the int64 counter
+		taskCount.Inc()
+		inflight.Add(-1)
+	}
 	if workers <= 1 {
-		for i, task := range tasks {
-			out[i], errs[i] = runTask(task)
+		busy := reg.Counter("runpool.worker0.busy_us")
+		for i := range tasks {
+			runOne(i, busy)
 		}
 		return out, firstError(errs)
 	}
@@ -72,16 +93,17 @@ func Run[T any](jobs int, tasks []func() (T, error)) ([]T, error) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		busy := reg.Counter(fmt.Sprintf("runpool.worker%d.busy_us", w))
+		go func(busy *live.Counter) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(tasks) {
 					return
 				}
-				out[i], errs[i] = runTask(tasks[i])
+				runOne(i, busy)
 			}
-		}()
+		}(busy)
 	}
 	wg.Wait()
 	return out, firstError(errs)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/pagestore"
 )
 
@@ -101,6 +102,10 @@ type OverwriteEngine struct {
 	aborts   int64
 	redone   int64
 	restored int64
+
+	// journal, when attached, records recovery decisions in order (nil is
+	// a no-op sink; survives Crash).
+	journal *obs.Journal
 }
 
 type owTxn struct {
@@ -123,6 +128,10 @@ func NewOverwrite(store *pagestore.Store, variant Variant) *OverwriteEngine {
 func (e *OverwriteEngine) Name() string {
 	return fmt.Sprintf("shadow(overwrite-%s)", e.variant)
 }
+
+// SetJournal attaches (or with nil detaches) the structured recovery
+// journal. Subsequent Recover calls emit their decisions to it.
+func (e *OverwriteEngine) SetJournal(j *obs.Journal) { e.journal = j }
 
 // Load populates page p before transactions run.
 func (e *OverwriteEngine) Load(p int64, data []byte) error {
@@ -332,6 +341,11 @@ func (e *OverwriteEngine) Recover() error {
 		if err != nil {
 			return err
 		}
+		action := "redo"
+		if e.variant == NoRedo {
+			action = "restore"
+		}
+		e.journal.Emit(obs.JournalRecord{Event: "replay", Engine: e.Name(), Txn: in.Txn, N: int64(len(in.Pairs)), Note: action})
 		for i := range in.Pairs {
 			// No-redo restores in reverse save order; no-undo redoes in
 			// order (both idempotent with full images).
@@ -356,6 +370,7 @@ func (e *OverwriteEngine) Recover() error {
 			return err
 		}
 	}
+	e.journal.Emit(obs.JournalRecord{Event: "scan", Engine: e.Name(), N: e.redone + e.restored})
 	e.att = make(map[uint64]*owTxn)
 	return nil
 }

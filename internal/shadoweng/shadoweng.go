@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/pagestore"
 )
 
@@ -53,6 +54,11 @@ type Engine struct {
 
 	commits int64
 	aborts  int64
+
+	// journal, when attached, records recovery decisions in order. A nil
+	// journal is a no-op sink; it belongs to the observer and survives
+	// Crash.
+	journal *obs.Journal
 }
 
 // New creates a shadow-paging engine on store, writing an empty initial
@@ -71,6 +77,10 @@ func New(store *pagestore.Store) (*Engine, error) {
 
 // Name identifies the engine.
 func (e *Engine) Name() string { return "shadow(page-table)" }
+
+// SetJournal attaches (or with nil detaches) the structured recovery
+// journal. Subsequent Recover calls emit their decisions to it.
+func (e *Engine) SetJournal(j *obs.Journal) { e.journal = j }
 
 // Load populates logical page p before transactions run.
 func (e *Engine) Load(p int64, data []byte) error {
@@ -292,6 +302,7 @@ func (e *Engine) Recover() error {
 	e.curCopy = copyIdx
 	e.gen = gen
 	e.nextBlock = nextBlock
+	e.journal.Emit(obs.JournalRecord{Event: "root", Engine: e.Name(), LSN: gen, N: int64(len(table)), Note: fmt.Sprintf("copy%d", copyIdx)})
 	e.att = make(map[uint64]map[int64]int64)
 	// Garbage-collect unreachable blocks.
 	reachable := make(map[int64]bool, len(table))
@@ -304,6 +315,7 @@ func (e *Engine) Recover() error {
 			e.freeList = append(e.freeList, blk)
 		}
 	}
+	e.journal.Emit(obs.JournalRecord{Event: "gc", Engine: e.Name(), N: int64(len(e.freeList))})
 	return nil
 }
 

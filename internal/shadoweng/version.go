@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/pagestore"
 )
 
@@ -29,6 +30,10 @@ type VersionEngine struct {
 	att map[uint64]*vsTxn
 
 	commits, aborts int64
+
+	// journal, when attached, records recovery decisions in order (nil is
+	// a no-op sink; survives Crash).
+	journal *obs.Journal
 }
 
 type vsTxn struct {
@@ -61,6 +66,10 @@ func NewVersion(store *pagestore.Store) (*VersionEngine, error) {
 
 // Name identifies the engine.
 func (e *VersionEngine) Name() string { return "shadow(version-selection)" }
+
+// SetJournal attaches (or with nil detaches) the structured recovery
+// journal. Subsequent Recover calls emit their decisions to it.
+func (e *VersionEngine) SetJournal(j *obs.Journal) { e.journal = j }
 
 func (e *VersionEngine) writeTS(ts uint64) error {
 	var buf [8]byte
@@ -233,9 +242,11 @@ func (e *VersionEngine) Recover() error {
 	}
 	e.committedTS = stored
 	e.nextTS = stored + 1
+	e.journal.Emit(obs.JournalRecord{Event: "root", Engine: e.Name(), LSN: stored})
 	e.att = make(map[uint64]*vsTxn)
 	// Scrub tentative stamps left by transactions lost in the crash: they
 	// must not collide with the stamps future commits will publish.
+	var scrubbed int64
 	for _, id := range e.store.Keys() {
 		if id < 0 {
 			continue // metadata
@@ -248,8 +259,10 @@ func (e *VersionEngine) Recover() error {
 			if err := e.store.Delete(id); err != nil {
 				return err
 			}
+			scrubbed++
 		}
 	}
+	e.journal.Emit(obs.JournalRecord{Event: "gc", Engine: e.Name(), N: scrubbed})
 	return nil
 }
 

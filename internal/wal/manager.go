@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/pagestore"
 )
 
@@ -73,6 +74,11 @@ type Manager struct {
 	// archiveLSN pins log truncation while an archive snapshot is live:
 	// records above it must survive for media recovery.
 	archiveLSN uint64
+
+	// journal, when attached, records recovery decisions in order. A nil
+	// journal is a no-op sink; like every kernel it survives Crash — it
+	// belongs to the observer, not to volatile state.
+	journal *obs.Journal
 }
 
 // NewManager builds a WAL manager over dataStore; the log lives in its own
@@ -101,6 +107,11 @@ func (m *Manager) Name() string {
 
 // LogStore exposes the log's stable storage for fault injection in tests.
 func (m *Manager) LogStore() *pagestore.Store { return m.logs }
+
+// SetJournal attaches (or with nil detaches) the structured recovery
+// journal. Subsequent Recover and Checkpoint calls emit their decisions to
+// it.
+func (m *Manager) SetJournal(j *obs.Journal) { m.journal = j }
 
 // Load populates page p with initial data, bypassing logging. Call before
 // running transactions.
@@ -315,6 +326,7 @@ func (m *Manager) Checkpoint() error {
 		pooled = append(pooled, p)
 	}
 	sort.Slice(pooled, func(i, j int) bool { return pooled[i] < pooled[j] })
+	var flushed int64
 	for _, p := range pooled {
 		bp := m.pool[p]
 		if !bp.dirty {
@@ -324,11 +336,14 @@ func (m *Manager) Checkpoint() error {
 			return err
 		}
 		bp.dirty = false
+		flushed++
 	}
-	point := m.appendRec(Record{Type: RecCheckpoint})
+	cpLSN := m.appendRec(Record{Type: RecCheckpoint})
 	if err := m.forceAll(); err != nil {
 		return err
 	}
+	m.journal.Emit(obs.JournalRecord{Event: "checkpoint", Engine: m.Name(), LSN: cpLSN, N: flushed})
+	point := cpLSN
 	for _, ts := range m.att {
 		if ts.firstLSN < point {
 			point = ts.firstLSN
@@ -337,12 +352,22 @@ func (m *Manager) Checkpoint() error {
 	if m.archiveLSN > 0 && m.archiveLSN+1 < point {
 		point = m.archiveLSN + 1 // retain the suffix media recovery needs
 	}
+	before := m.truncatedChunks()
 	for _, s := range m.streams {
 		if err := s.truncate(point); err != nil {
 			return err
 		}
 	}
+	m.journal.Emit(obs.JournalRecord{Event: "truncate", Engine: m.Name(), LSN: point, N: m.truncatedChunks() - before})
 	return nil
+}
+
+func (m *Manager) truncatedChunks() int64 {
+	var n int64
+	for _, s := range m.streams {
+		n += s.truncated
+	}
+	return n
 }
 
 // Crash simulates power loss: the buffer pool, active-transaction table and
@@ -374,6 +399,7 @@ func (m *Manager) Recover() error {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].LSN < all[j].LSN })
 	m.scanned = int64(len(all))
+	m.journal.Emit(obs.JournalRecord{Event: "scan", Engine: m.Name(), N: m.scanned})
 
 	// Analysis: which transactions committed, and which loser updates were
 	// already compensated by a durable CLR?
@@ -389,6 +415,23 @@ func (m *Manager) Recover() error {
 			committed[r.Txn] = true
 		case r.Type == RecUpdate && r.IsCLR():
 			compensated[r.CompLSN] = true
+		}
+	}
+
+	// Journal the classification in first-appearance (LSN) order — never by
+	// iterating the committed map, whose order is nondeterministic.
+	if m.journal != nil {
+		seen := map[uint64]bool{}
+		for _, r := range all {
+			if r.Txn == 0 || seen[r.Txn] {
+				continue
+			}
+			seen[r.Txn] = true
+			ev := "loser"
+			if committed[r.Txn] {
+				ev = "winner"
+			}
+			m.journal.Emit(obs.JournalRecord{Event: ev, Txn: r.Txn})
 		}
 	}
 
@@ -432,6 +475,11 @@ func (m *Manager) redoOne(r Record) error {
 		return nil // already applied
 	}
 	m.redone++
+	note := ""
+	if r.IsCLR() {
+		note = "clr"
+	}
+	m.journal.Emit(obs.JournalRecord{Event: "redo", Txn: r.Txn, Page: obs.JournalPage(r.Page), LSN: r.LSN, Note: note})
 	return m.data.Write(pagestore.PageID(r.Page), r.After, r.LSN)
 }
 
@@ -447,6 +495,7 @@ func (m *Manager) undoOne(r Record) error {
 		return nil // this update never reached disk
 	}
 	m.undone++
+	m.journal.Emit(obs.JournalRecord{Event: "undo", Txn: r.Txn, Page: obs.JournalPage(r.Page), LSN: r.LSN})
 	return m.data.Write(pagestore.PageID(r.Page), r.Before, r.LSN-1)
 }
 

@@ -22,9 +22,16 @@ crashsweep-short:
 	$(GO) run ./cmd/crashsweep -every 2 -machine-points 4 -jobs 4
 
 # simlint: the repo's determinism & simulator-invariant analyzer
-# (stdlib-only, built from source; see docs/LINTING.md).
+# (stdlib-only, built from source; see docs/LINTING.md). The wall time is
+# printed so the CI log pins the cost of the call-graph passes — the
+# budget is ~2s on the 1-core CI container.
 lint:
-	$(GO) run ./cmd/simlint ./internal/... ./cmd/...
+	@start=$$(date +%s%N); \
+	$(GO) run ./cmd/simlint ./internal/... ./cmd/...; rc=$$?; \
+	end=$$(date +%s%N); \
+	printf 'simlint: wall time %d.%03ds\n' \
+		$$(( (end - start) / 1000000000 )) $$(( (end - start) / 1000000 % 1000 )); \
+	exit $$rc
 
 build:
 	$(GO) build ./...

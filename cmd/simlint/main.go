@@ -9,12 +9,14 @@
 // "./cmd/simlint"); with no patterns it checks ./internal/... and
 // ./cmd/... . Exit status: 0 clean, 1 findings, 2 usage or load error.
 // Stale-suppression warnings are printed but only fail the run under
-// -strict.
+// -strict. With -json the findings are written as a machine-readable
+// report on stdout (the exit-status contract is unchanged).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,57 +24,87 @@ import (
 )
 
 func main() {
-	rules := flag.String("rules", "", "comma-separated rule IDs to enable (default: all)")
-	strict := flag.Bool("strict", false, "treat warnings (stale suppressions) as failures")
-	list := flag.Bool("list", false, "print the rule table and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-rules D001,D003] [-strict] [patterns...]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind a testable seam: flag parsing, rule
+// validation, analysis, and rendering, with the exit status returned
+// instead of raised.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated rule IDs to enable (default: all)")
+	strict := fs.Bool("strict", false, "treat warnings (stale suppressions) as failures")
+	list := fs.Bool("list", false, "print the rule table and exit")
+	jsonOut := fs.Bool("json", false, "write findings as a JSON report on stdout")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: simlint [-rules D001,D003] [-strict] [-json] [patterns...]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, r := range lint.Rules {
-			fmt.Printf("%s  %s  (scope: %s)\n", r.ID, r.Short, strings.Join(r.Scope, ", "))
+			fmt.Fprintf(stdout, "%s  %s  (scope: %s)\n", r.ID, r.Short, strings.Join(r.Scope, ", "))
 		}
-		return
+		return 0
+	}
+
+	var cfg lint.Config
+	if *rules != "" {
+		cfg.Rules = strings.Split(*rules, ",")
+		for _, id := range cfg.Rules {
+			if id = strings.TrimSpace(id); id != "" && !lint.KnownRule(id) {
+				fmt.Fprintf(stderr, "simlint: unknown rule %q (run simlint -list for the rule table)\n", id)
+				return 2
+			}
+		}
 	}
 
 	wd, err := os.Getwd()
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	root, err := lint.FindModuleRoot(wd)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./internal/...", "./cmd/..."}
-	}
-	var cfg lint.Config
-	if *rules != "" {
-		cfg.Rules = strings.Split(*rules, ",")
 	}
 
 	diags, err := lint.Run(root, patterns, cfg)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	failures := 0
 	for _, d := range diags {
-		fmt.Println(d)
 		if !d.Warning || *strict {
 			failures++
 		}
 	}
-	if failures > 0 {
-		fmt.Printf("simlint: %d finding(s)\n", failures)
-		os.Exit(1)
+	if *jsonOut {
+		if err := lint.WriteJSON(stdout, root, diags); err != nil {
+			return fatal(stderr, err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+		if failures > 0 {
+			fmt.Fprintf(stdout, "simlint: %d finding(s)\n", failures)
+		}
 	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "simlint:", err)
-	os.Exit(2)
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "simlint:", err)
+	return 2
 }

@@ -131,7 +131,11 @@ func (e *Engine) SetJournal(j *obs.Journal) { e.journal = j }
 
 // Load writes page p into the read-only base file B.
 func (e *Engine) Load(p int64, data []byte) error {
-	return e.store.Write(pagestore.PageID(p), data, 0)
+	if err := e.store.Write(pagestore.PageID(p), data, 0); err != nil {
+		return err
+	}
+	e.journal.Emit(obs.JournalRecord{Event: "load", Page: obs.JournalPage(p)})
+	return nil
 }
 
 // Begin starts transaction tid.
@@ -218,6 +222,7 @@ func (e *Engine) Commit(tid uint64) error {
 	e.applyCommitted(pend)
 	delete(e.att, tid)
 	e.commits++
+	e.journal.Emit(obs.JournalRecord{Event: "commit", Txn: tid, N: int64(len(pend))})
 	return nil
 }
 

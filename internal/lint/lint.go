@@ -35,6 +35,29 @@
 //	      libraries — configuration comes through machine.Config and
 //	      output through injected io.Writers.
 //
+// On top of the per-file rules, a program-wide call graph (callgraph.go)
+// backs three interprocedural rules:
+//
+//	D006  transitive determinism taint — a kernel-scope function that
+//	      reaches a wall-clock/global-rand/env sink through any call
+//	      chain (wrapper helpers, other packages, function values) is
+//	      flagged with the full chain printed in the diagnostic. Direct
+//	      sink calls stay D001/D002/D005's job; D006 catches the
+//	      laundered ones.
+//	D007  kernel-state escape — exported kernel methods on the
+//	      functional engines (internal/wal, internal/shadoweng,
+//	      internal/diffeng) must not return, or store from parameters,
+//	      pointers/slices/maps that alias internal kernel state: the
+//	      engine.Guard serializes calls, not the lifetime of returned
+//	      data, so every reference crossing the boundary must be a
+//	      copy. The thread-safe substrate *pagestore.Store and the
+//	      sanctioned sink *obs.Journal are exempt by design.
+//	D008  journal-emission completeness — every exported kernel method
+//	      that (transitively) performs a stable-storage mutation
+//	      (pagestore.Store.Write/Delete) must also reach the recovery
+//	      journal sink (obs.Journal.Emit), so the forensic trail cannot
+//	      silently rot as kernels grow new mutation paths.
+//
 // A finding can be suppressed with a comment on the same line or the
 // line directly above it:
 //
@@ -131,6 +154,28 @@ var Rules = []RuleInfo{
 		Short: "no os env/stdout side channels in internal libraries",
 		Scope: []string{"internal/..."},
 	},
+	{
+		ID:    "D006",
+		Short: "no transitive reachability of wall-clock/rand/env sinks from kernel code (call-graph taint)",
+		Scope: []string{
+			"internal/sim",
+			"internal/machine",
+			"internal/recovery/...",
+			"internal/shadoweng",
+			"internal/diffeng",
+			"internal/wal",
+		},
+	},
+	{
+		ID:    "D007",
+		Short: "exported kernel methods must not leak aliases of kernel state across the Guard boundary",
+		Scope: []string{"internal/wal", "internal/shadoweng", "internal/diffeng"},
+	},
+	{
+		ID:    "D008",
+		Short: "exported kernel methods that mutate stable storage must emit through the recovery journal",
+		Scope: []string{"internal/wal", "internal/shadoweng", "internal/diffeng"},
+	},
 }
 
 // ruleByID reports the rule table entry for id.
@@ -199,13 +244,21 @@ func Run(root string, patterns []string, cfg Config) ([]Diagnostic, error) {
 		return nil, err
 	}
 	ld := newLoader(root)
-	var diags []Diagnostic
+	pkgs := make([]*Package, 0, len(dirs))
 	for _, dir := range dirs {
 		pkg, err := ld.load(dir)
 		if err != nil {
 			return nil, err
 		}
-		diags = append(diags, checkPackage(pkg, enabled)...)
+		pkgs = append(pkgs, pkg)
+	}
+	// The call graph spans every package the loader saw — analyzed
+	// packages and their module-local dependencies — so chains through
+	// helper packages resolve even when only the kernel is analyzed.
+	g := buildGraph(ld)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, checkPackage(pkg, enabled, g)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -3,6 +3,9 @@ package lint
 import (
 	"flag"
 	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -205,4 +208,43 @@ func ExampleDiagnostic_String() {
 	d.Pos.Line = 12
 	fmt.Println(d)
 	// Output: internal/obs/obs.go:12: [D003] map iteration
+}
+
+// TestZeroSuppressions asserts the tree carries no //simlint:ignore
+// directives at all: every finding the analyzer ever raised against the
+// repository was fixed, not waived. The walk parses comments (so
+// directive-shaped text inside string literals — the suppression
+// parser's own tests — does not count) and skips the fixture corpus,
+// which exists to exercise suppressions.
+func TestZeroSuppressions(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		for _, s := range parseDirectives(fset, file).supps {
+			t.Errorf("%s:%d: suppression //simlint:ignore %s — fix the finding instead of waiving it", path, s.pos.Line, s.rule)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }

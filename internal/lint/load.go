@@ -23,6 +23,9 @@ type Package struct {
 	Fset    *token.FileSet
 	Files   []*ast.File
 	Info    *types.Info
+	// Types is the checked package object; the call-graph pass uses it to
+	// distinguish package-level state from locals.
+	Types *types.Package
 	// TypeErrors collects type-check problems without aborting analysis;
 	// rules that need type information degrade gracefully when the info
 	// for a node is missing.
@@ -246,6 +249,7 @@ func (l *loader) load(dir string) (*Package, error) {
 	if tpkg == nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %v", dir, err)
 	}
+	pkg.Types = tpkg
 	l.byPath[importPath] = tpkg
 	l.byDir[dir] = pkg
 	return pkg, nil

@@ -71,7 +71,11 @@ func wrapperImport(importPath string) (string, bool) {
 // are order-sensitive when executed under a map iteration: output
 // emission, event scheduling, stateful mutation of metrics or stores.
 // Pure reads (Value, Mean, Percentile, ...) and map-index writes are
-// order-insensitive and deliberately not listed.
+// order-insensitive and deliberately not listed. Since the call-graph
+// pass, these lists are only the *fallback* for callees the type-based
+// effect analysis cannot see into (dynamic calls, interface methods,
+// bodyless standard-library functions); anything with a body in the
+// loaded program is judged by its computed effects instead.
 var sensitivePrefixes = []string{
 	"Write", "Print", "Fprint", "Emit", "Trace", "Schedule", "Record",
 	"Observe", "Log", "Push", "Enqueue", "Submit", "Put", "Send", "Append",
@@ -101,14 +105,17 @@ func sensitiveCallName(name string) bool {
 type checker struct {
 	pkg     *Package
 	file    *ast.File
+	g       *graph            // program-wide call graph (D003 effects, D006–D008)
 	imports map[string]string // fallback identifier -> import path map
 	active  map[string]bool   // rule ID -> enabled && in scope for this file
 	diags   []Diagnostic
 }
 
-// checkPackage runs every enabled rule over every file of pkg and
-// resolves suppression comments.
-func checkPackage(pkg *Package, enabled map[string]bool) []Diagnostic {
+// checkPackage runs every enabled rule over every file of pkg — the
+// syntactic walk first, then the call-graph rules — and resolves
+// suppression comments last, so a graph finding is suppressible exactly
+// like a syntactic one.
+func checkPackage(pkg *Package, enabled map[string]bool, g *graph) []Diagnostic {
 	var out []Diagnostic
 	for _, file := range pkg.Files {
 		dirs := parseDirectives(pkg.Fset, file)
@@ -119,6 +126,7 @@ func checkPackage(pkg *Package, enabled map[string]bool) []Diagnostic {
 		c := &checker{
 			pkg:     pkg,
 			file:    file,
+			g:       g,
 			imports: importTable(file),
 			active:  map[string]bool{},
 		}
@@ -127,9 +135,98 @@ func checkPackage(pkg *Package, enabled map[string]bool) []Diagnostic {
 		}
 		c.checkKernelImports()
 		c.walk()
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.checkGraphRules(fd)
+			}
+		}
 		out = append(out, applySuppressions(c.diags, dirs)...)
 	}
 	return out
+}
+
+// checkGraphRules runs the interprocedural rules for one declared
+// function of the file.
+func (c *checker) checkGraphRules(fd *ast.FuncDecl) {
+	if c.g == nil {
+		return
+	}
+	obj, ok := c.pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	n := c.g.nodes[obj]
+	if n == nil {
+		return
+	}
+	c.checkTaint(n)
+	if exportedKernelMethod(n) {
+		c.checkEscape(n)
+		c.checkJournal(n)
+	}
+}
+
+// exportedKernelMethod restricts D007/D008 to the kernel API surface:
+// exported methods on exported receiver types. Unexported helpers are
+// internal to the kernel and judged only through the methods that call
+// them.
+func exportedKernelMethod(n *funcNode) bool {
+	if n.recvObj == nil && n.decl.Recv == nil {
+		return false
+	}
+	if !n.obj.Exported() {
+		return false
+	}
+	sig, ok := n.obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedOf(sig.Recv().Type())
+	return named != nil && named.Obj().Exported()
+}
+
+// checkTaint implements D006: kernel code must not reach a
+// nondeterminism sink through any call chain. Direct sink *calls* are
+// already D001/D002/D005 findings; D006 reports chains of length ≥ 2
+// and direct function-value references (handing time.Now to a callback
+// slot), printing the full chain.
+func (c *checker) checkTaint(n *funcNode) {
+	if !c.active["D006"] || n.sinkChain == nil {
+		return
+	}
+	ch := n.sinkChain
+	if ch.dist == 1 && ch.kind == edgeCall {
+		return
+	}
+	what := "reaches"
+	if ch.callee == nil && ch.kind == edgeRef {
+		what = "captures"
+	}
+	c.report(ch.pos, "D006", fmt.Sprintf(
+		"%s %s %s sink through call chain %s: kernel code must stay deterministic (inject the value from above the Guard boundary)",
+		n.displayName(), what, ch.class, chainString(n, func(f *funcNode) *chain { return f.sinkChain })))
+}
+
+// checkEscape implements D007 over one exported kernel method.
+func (c *checker) checkEscape(n *funcNode) {
+	if !c.active["D007"] {
+		return
+	}
+	for _, f := range escapeFindings(c.g, n) {
+		c.report(f.pos, "D007", fmt.Sprintf("%s %s", n.displayName(), f.msg))
+	}
+}
+
+// checkJournal implements D008: an exported kernel method that
+// (transitively) mutates stable storage must also reach the recovery
+// journal sink.
+func (c *checker) checkJournal(n *funcNode) {
+	if !c.active["D008"] || n.stableChain == nil || n.reachJournal {
+		return
+	}
+	c.report(n.decl.Name.Pos(), "D008", fmt.Sprintf(
+		"%s mutates stable storage (%s) but never reaches the recovery journal: emit an obs.Journal event on every stable-mutation path",
+		n.displayName(), chainString(n, func(f *funcNode) *chain { return f.stableChain })))
 }
 
 func importTable(file *ast.File) map[string]string {
@@ -379,8 +476,8 @@ func (c *checker) orderEffects(rng *ast.RangeStmt) (effects []string, appends []
 			if id, isIdent := n.Fun.(*ast.Ident); isIdent && c.isBuiltin(id, "append") {
 				return true // handled via the enclosing assignment
 			}
-			if name := calleeName(n); sensitiveCallName(name) {
-				effects = append(effects, "call to "+exprString(n.Fun))
+			if desc, sensitive := c.callEffect(n, rng); sensitive {
+				effects = append(effects, desc)
 			}
 		case *ast.SendStmt:
 			effects = append(effects, "channel send")
@@ -388,6 +485,89 @@ func (c *checker) orderEffects(rng *ast.RangeStmt) (effects []string, appends []
 		return true
 	})
 	return effects, appends
+}
+
+// callEffect classifies one call inside a map-range body as
+// order-sensitive or commuting. Functions with bodies in the loaded
+// program are judged by their *computed* effects (emission to an
+// escaping io.Writer, package-level mutation, receiver mutation when the
+// receiver outlives the loop); bodyless callees (standard library,
+// interface methods) are judged by io.Writer implementation and, as a
+// last resort, by the legacy name heuristic.
+func (c *checker) callEffect(call *ast.CallExpr, rng *ast.RangeStmt) (string, bool) {
+	loopLocal := func(e ast.Expr) bool {
+		root := rootIdent(e)
+		if root == nil {
+			return false
+		}
+		obj := c.objectOf(root)
+		return obj != nil && obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()
+	}
+	var obj *types.Func
+	var recvExpr ast.Expr
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj, _ = c.objectOf(f).(*types.Func)
+	case *ast.SelectorExpr:
+		obj, _ = c.pkg.Info.Uses[f.Sel].(*types.Func)
+		if obj != nil {
+			if sig, isSig := obj.Type().(*types.Signature); isSig && sig.Recv() != nil {
+				recvExpr = f.X
+			}
+		}
+	}
+	if obj == nil {
+		// No type information (or a dynamic call): keep the conservative
+		// name heuristic.
+		if name := calleeName(call); sensitiveCallName(name) {
+			return "call to " + exprString(call.Fun), true
+		}
+		return "", false
+	}
+	if c.g != nil {
+		if n := c.g.nodes[obj]; n != nil {
+			switch {
+			case n.effEmit:
+				return "call to " + exprString(call.Fun) + ", which emits output", true
+			case n.effMutGlobal:
+				return "call to " + exprString(call.Fun) + ", which mutates package-level state", true
+			case n.effMutRecv && (recvExpr == nil || !loopLocal(recvExpr)):
+				return "call to " + exprString(call.Fun) + ", which mutates state that outlives the loop", true
+			}
+			return "", false // typed verdict: the callee's effects commute
+		}
+	}
+	// Bodyless callee (standard library or interface method).
+	if recvExpr == nil && obj.Pkg() != nil {
+		switch obj.Pkg().Path() {
+		case "fmt":
+			name := obj.Name()
+			if name == "Print" || name == "Println" || name == "Printf" {
+				return "call to " + exprString(call.Fun), true
+			}
+			if strings.HasPrefix(name, "Fprint") {
+				if len(call.Args) > 0 && !loopLocal(call.Args[0]) {
+					return "call to " + exprString(call.Fun), true
+				}
+				return "", false
+			}
+			return "", false // Sprint* and friends are pure
+		case "log":
+			return "call to " + exprString(call.Fun), true
+		}
+	}
+	if recvExpr != nil && c.g != nil && !pureWriterMethods[obj.Name()] {
+		if tv, ok := c.pkg.Info.Types[recvExpr]; ok && c.g.implementsWriter(tv.Type) {
+			if !loopLocal(recvExpr) {
+				return "write to io.Writer " + exprString(recvExpr), true
+			}
+			return "", false
+		}
+	}
+	if sensitiveCallName(obj.Name()) {
+		return "call to " + exprString(call.Fun), true
+	}
+	return "", false
 }
 
 // sortedAfter reports whether obj is passed to a sort/slices call after

@@ -10,9 +10,20 @@ import (
 	"sort"
 )
 
-type scheduler struct{}
+type scheduler struct{ q []string }
 
-func (scheduler) Schedule(name string) {}
+// Schedule mutates the receiver, so its call order is observable.
+func (s *scheduler) Schedule(name string) { s.q = append(s.q, name) }
+
+// Probe only reads the receiver: calling it in map order has no effect.
+func (s *scheduler) Probe(name string) bool {
+	for _, have := range s.q {
+		if have == name {
+			return true
+		}
+	}
+	return false
+}
 
 // EmitUnsorted writes rows in map order: nondeterministic output.
 func EmitUnsorted(w io.Writer, stats map[string]int) {
@@ -31,8 +42,29 @@ func CollectUnsorted(stats map[string]int) []string {
 }
 
 // FanOut schedules events in map order: nondeterministic event times.
-func FanOut(s scheduler, jobs map[string]int) {
+func FanOut(s *scheduler, jobs map[string]int) {
 	for name := range jobs {
+		s.Schedule(name)
+	}
+}
+
+// CountKnown calls an effect-free method in map order: allowed, the
+// type-based check sees Probe never mutates anything that outlives the loop.
+func CountKnown(s *scheduler, jobs map[string]int) int {
+	n := 0
+	for name := range jobs {
+		if s.Probe(name) {
+			n++
+		}
+	}
+	return n
+}
+
+// LocalSink mutates a receiver created inside the loop body: allowed, the
+// mutation cannot outlive the iteration.
+func LocalSink(jobs map[string]int) {
+	for name := range jobs {
+		var s scheduler
 		s.Schedule(name)
 	}
 }

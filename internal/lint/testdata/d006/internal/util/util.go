@@ -1,0 +1,18 @@
+// Package util is a helper package outside the kernel scope: nothing
+// here diagnoses directly, but its bodies carry taint into callers.
+package util
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// WallStamp reads the host clock.
+func WallStamp() time.Time { return time.Now() }
+
+// DefaultDir reads configuration from the environment.
+func DefaultDir() string { return os.Getenv("DBM_DIR") }
+
+// NewRNG builds an explicitly seeded generator: allowed everywhere.
+func NewRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,56 @@
+// Package fixture exercises rule D006: transitive determinism taint.
+// Posing as the WAL kernel, functions here must not reach a wall-clock,
+// global-rand, or env sink through *any* call chain — including chains
+// that cross into helper packages the per-file rules never look at, and
+// function values captured without being called.
+//
+//simlint:path internal/wal
+package fixture
+
+import (
+	"math/rand"
+	"time"
+
+	"fixture/d006/internal/util"
+)
+
+// Manager is a stand-in kernel type.
+type Manager struct {
+	seed  int64
+	clock func() time.Time
+	stamp time.Time
+}
+
+// Recover reaches time.Now through a helper package: the direct rule
+// (D001) never sees it, the chain does.
+func (m *Manager) Recover() error {
+	m.stamp = util.WallStamp()
+	return nil
+}
+
+// Configure reaches os.Getenv two hops away.
+func (m *Manager) Configure() string {
+	return util.DefaultDir()
+}
+
+// AttachClock captures time.Now as a function value without calling it:
+// the stored value taints every later use.
+func (m *Manager) AttachClock() {
+	m.clock = time.Now
+}
+
+// Shuffle builds an explicitly seeded local generator through a helper:
+// constructors are not sinks, so the chain is clean.
+func (m *Manager) Shuffle() *rand.Rand {
+	return util.NewRNG(m.seed)
+}
+
+// Tick calls the injected clock: a dynamic call through a function
+// value is not a static chain, and injection is exactly the sanctioned
+// fix — clean.
+func (m *Manager) Tick() time.Time {
+	if m.clock == nil {
+		return time.Time{}
+	}
+	return m.clock()
+}

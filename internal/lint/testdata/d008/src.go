@@ -1,0 +1,59 @@
+// Package fixture exercises rule D008: journal-emission completeness.
+// Posing as the WAL kernel, every exported method that (transitively)
+// mutates stable storage must also reach the recovery journal sink
+// obs.Journal.Emit on some path — a recovery architecture whose stable
+// mutations leave no forensic trail cannot be audited after a crash.
+//
+//simlint:path internal/wal
+package fixture
+
+import (
+	"fixture/d008/obs"
+	"fixture/d008/pagestore"
+)
+
+// Engine is a stand-in recovery kernel.
+type Engine struct {
+	store *pagestore.Store
+	j     *obs.Journal
+}
+
+// Load writes stable storage and never journals: flagged.
+func (e *Engine) Load(p int64, data []byte) error {
+	return e.store.Write(p, data)
+}
+
+// Purge mutates stable storage through an unexported helper; the chain
+// is printed through it.
+func (e *Engine) Purge(p int64) error {
+	return e.drop(p)
+}
+
+func (e *Engine) drop(p int64) error {
+	return e.store.Delete(p)
+}
+
+// Read never mutates stable storage: read-only methods are exempt.
+func (e *Engine) Read(p int64) ([]byte, error) {
+	return e.store.Read(p)
+}
+
+// Commit journals its stable mutation directly: allowed.
+func (e *Engine) Commit(p int64, data []byte) error {
+	if err := e.store.Write(p, data); err != nil {
+		return err
+	}
+	e.j.Emit(obs.Record{Event: "commit"})
+	return nil
+}
+
+// Abort reaches the journal through a helper: reachability is
+// transitive, so this is allowed too.
+func (e *Engine) Abort(p int64) error {
+	e.note("abort")
+	return e.store.Delete(p)
+}
+
+func (e *Engine) note(ev string) {
+	e.j.Emit(obs.Record{Event: ev})
+}

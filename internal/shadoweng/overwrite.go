@@ -135,7 +135,11 @@ func (e *OverwriteEngine) SetJournal(j *obs.Journal) { e.journal = j }
 
 // Load populates page p before transactions run.
 func (e *OverwriteEngine) Load(p int64, data []byte) error {
-	return e.store.Write(pagestore.PageID(p), data, 0)
+	if err := e.store.Write(pagestore.PageID(p), data, 0); err != nil {
+		return err
+	}
+	e.journal.Emit(obs.JournalRecord{Event: "load", Page: obs.JournalPage(p)})
+	return nil
 }
 
 // Begin starts transaction tid.
@@ -237,7 +241,13 @@ func (e *OverwriteEngine) writeIntent(slot int, tid uint64, pairs [][2]int64) er
 	if len(buf) > e.store.PageSize() {
 		return fmt.Errorf("shadoweng: write set too large for one intent page (%d pairs)", len(pairs))
 	}
-	return e.store.Write(intentID(slot), buf, 0)
+	if err := e.store.Write(intentID(slot), buf, 0); err != nil {
+		return err
+	}
+	// Publishing an intention record is the durability decision both
+	// variants hinge on, so it is the journaled event of the forward path.
+	e.journal.Emit(obs.JournalRecord{Event: "intent", Engine: e.Name(), Txn: tid, N: int64(len(pairs))})
+	return nil
 }
 
 // Commit finishes tid. No-undo: updated pages are written to the scratch
@@ -257,6 +267,7 @@ func (e *OverwriteEngine) Commit(tid uint64) error {
 		}
 		delete(e.att, tid)
 		e.commits++
+		e.journal.Emit(obs.JournalRecord{Event: "commit", Txn: tid})
 		return nil
 	}
 	// No-undo.
@@ -287,6 +298,7 @@ func (e *OverwriteEngine) Commit(tid uint64) error {
 	}
 	delete(e.att, tid)
 	e.commits++
+	e.journal.Emit(obs.JournalRecord{Event: "commit", Txn: tid})
 	return nil
 }
 
@@ -316,6 +328,7 @@ func (e *OverwriteEngine) Abort(tid uint64) error {
 	}
 	delete(e.att, tid)
 	e.aborts++
+	e.journal.Emit(obs.JournalRecord{Event: "abort", Txn: tid, N: int64(len(t.order))})
 	return nil
 }
 

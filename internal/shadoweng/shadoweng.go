@@ -133,7 +133,11 @@ func (e *Engine) Write(tid uint64, p int64, data []byte) error {
 		blk = e.allocBlock()
 		w[p] = blk
 	}
-	return e.store.Write(pagestore.PageID(blk), data, 0)
+	if err := e.store.Write(pagestore.PageID(blk), data, 0); err != nil {
+		return err
+	}
+	e.journal.Emit(obs.JournalRecord{Event: "shadow", Txn: tid, Page: obs.JournalPage(p), N: blk})
+	return nil
 }
 
 // Commit atomically installs tid's writes: the new page table is written to
@@ -223,6 +227,10 @@ func (e *Engine) writePageTable() error {
 		return err
 	}
 	e.curCopy = next
+	// The root flip is the engine's only durability decision on the
+	// forward path, so it is the journal's "commit point" record: every
+	// stable mutation (Load, Commit) reaches stable state through here.
+	e.journal.Emit(obs.JournalRecord{Event: "flip", Engine: e.Name(), LSN: e.gen, N: int64(nChunks), Note: fmt.Sprintf("copy%d", next)})
 	return nil
 }
 

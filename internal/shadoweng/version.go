@@ -78,12 +78,19 @@ func (e *VersionEngine) writeTS(ts uint64) error {
 		return err
 	}
 	e.committedTS = ts
+	// Bumping the committed-timestamp page is this engine's atomic commit
+	// point, so it is the journaled durability decision on the forward path.
+	e.journal.Emit(obs.JournalRecord{Event: "flip", Engine: e.Name(), LSN: ts})
 	return nil
 }
 
 // Load populates page p before transactions run (timestamp 0 on side 0).
 func (e *VersionEngine) Load(p int64, data []byte) error {
-	return e.store.Write(vsBlock(p, 0), data, 0)
+	if err := e.store.Write(vsBlock(p, 0), data, 0); err != nil {
+		return err
+	}
+	e.journal.Emit(obs.JournalRecord{Event: "load", Page: obs.JournalPage(p)})
+	return nil
 }
 
 // Begin starts transaction tid.
@@ -145,7 +152,11 @@ func (e *VersionEngine) Write(tid uint64, p int64, data []byte) error {
 		t.touched[p] = side
 		t.order = append(t.order, p)
 	}
-	return e.store.Write(vsBlock(p, side), data, t.ts)
+	if err := e.store.Write(vsBlock(p, side), data, t.ts); err != nil {
+		return err
+	}
+	e.journal.Emit(obs.JournalRecord{Event: "shadow", Txn: tid, Page: obs.JournalPage(p), N: int64(side)})
+	return nil
 }
 
 // olderSide picks the block to overwrite: a missing block, a garbage block
@@ -202,6 +213,7 @@ func (e *VersionEngine) Commit(tid uint64) error {
 	}
 	delete(e.att, tid)
 	e.commits++
+	e.journal.Emit(obs.JournalRecord{Event: "commit", Txn: tid, LSN: target})
 	return nil
 }
 
@@ -219,6 +231,7 @@ func (e *VersionEngine) Abort(tid uint64) error {
 	}
 	delete(e.att, tid)
 	e.aborts++
+	e.journal.Emit(obs.JournalRecord{Event: "abort", Txn: tid, N: int64(len(t.order))})
 	return nil
 }
 

@@ -116,7 +116,11 @@ func (m *Manager) SetJournal(j *obs.Journal) { m.journal = j }
 // Load populates page p with initial data, bypassing logging. Call before
 // running transactions.
 func (m *Manager) Load(p pagestore.PageID, data []byte) error {
-	return m.data.Write(p, data, 0)
+	if err := m.data.Write(p, data, 0); err != nil {
+		return err
+	}
+	m.journal.Emit(obs.JournalRecord{Event: "load", Page: obs.JournalPage(int64(p))})
+	return nil
 }
 
 // Begin starts transaction tid.
@@ -184,7 +188,7 @@ func (m *Manager) Commit(tid uint64) error {
 	// live — reaches disk before the commit record can. A crash anywhere in
 	// this sequence then leaves either no commit record (the transaction is
 	// undone whole) or a complete transaction: atomic, never torn.
-	_, ci := m.appendRecOn(Record{Type: RecCommit, Txn: tid, PrevLSN: ts.lastLSN})
+	lsn, ci := m.appendRecOn(Record{Type: RecCommit, Txn: tid, PrevLSN: ts.lastLSN})
 	for i, s := range m.streams {
 		if i == ci {
 			continue
@@ -197,6 +201,7 @@ func (m *Manager) Commit(tid uint64) error {
 		return fmt.Errorf("wal: commit %d in doubt: %w", tid, err)
 	}
 	delete(m.att, tid)
+	m.journal.Emit(obs.JournalRecord{Event: "commit", Txn: tid, LSN: lsn})
 	return nil
 }
 
@@ -231,6 +236,7 @@ func (m *Manager) Abort(tid uint64) error {
 	}
 	m.appendRec(Record{Type: RecAbort, Txn: tid, PrevLSN: ts.lastLSN})
 	delete(m.att, tid)
+	m.journal.Emit(obs.JournalRecord{Event: "abort", Txn: tid, N: int64(len(ts.updates))})
 	return nil
 }
 
@@ -305,6 +311,10 @@ func (m *Manager) evictIfFull() error {
 				return err
 			}
 			m.steals++
+			// A steal is the WAL engine's only stable page write outside
+			// checkpoints, so it is journaled: the forensic trail must show
+			// which uncommitted pages reached disk and under which LSN.
+			m.journal.Emit(obs.JournalRecord{Event: "steal", Page: obs.JournalPage(int64(victim)), LSN: bp.lsn})
 		}
 		m.lru = m.lru[1:]
 		delete(m.pool, victim)

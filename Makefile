@@ -3,12 +3,12 @@
 GO ?= go
 
 .PHONY: all build vet lint test race cover bench gobench tables examples fuzz ci clean
-.PHONY: crashsweep crashsweep-short
+.PHONY: crashsweep crashsweep-short serve-smoke bench-server
 
 all: build vet lint test
 
 # What .github/workflows/ci.yml runs.
-ci: build vet lint test race cover crashsweep-short
+ci: build vet lint test race cover crashsweep-short serve-smoke
 
 # Deterministic crash-injection sweep with recovery audits
 # (see internal/faultinj and docs/FAULTS.md).
@@ -70,6 +70,20 @@ cover:
 bench:
 	$(GO) run ./cmd/dbbench -out BENCH_runpool.json \
 		-guard-out BENCH_guard_contention.json
+
+# Short end-to-end smoke of the networked front end: dbload self-hosts an
+# in-process dbserver per architecture, drives concurrent debit/credit
+# sessions over TCP, and fails on any balance drift. Small enough for CI;
+# the report goes to stdout and the JSON is discarded.
+serve-smoke:
+	$(GO) run ./cmd/dbload -engines all -sessions 25 -txns 2 -pages 32 -out ""
+
+# Full server benchmark: 1000 concurrent sessions per architecture
+# against a self-hosted dbserver, closed loop -> BENCH_server.json
+# (throughput + latency percentiles; see docs/OBSERVABILITY.md).
+bench-server:
+	$(GO) run ./cmd/dbload -engines all -sessions 1000 -txns 3 -pages 256 \
+		-out BENCH_server.json
 
 # Go's own microbenchmarks.
 gobench:

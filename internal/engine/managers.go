@@ -8,6 +8,13 @@ import (
 	"repro/internal/wal"
 )
 
+// ErrBusy surfaces a kernel admission limit (today: the overwriting
+// engines' fixed intention-list, shadoweng.ErrBusy). The transaction
+// cannot proceed right now but the condition is transient — wrapper
+// layers abort the transaction and retry, exactly like a deadlock
+// victim.
+var ErrBusy = shadoweng.ErrBusy
+
 // walAdapter bridges wal.Manager's pagestore.PageID signatures to the int64
 // RecoveryManager interface. It also forwards the maintenance surface
 // (Checkpoint, Stats) so the engine's Guard can reach it under its lock.

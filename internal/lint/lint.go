@@ -112,10 +112,13 @@ type RuleInfo struct {
 // engines (internal/wal, internal/shadoweng, internal/diffeng), which must
 // stay free of sync primitives. Concurrent runtime-side packages
 // (internal/lockmgr, internal/engine with its Guard wrapper, the
-// internal/runpool fan-out pool, workload drivers) are deliberately
-// outside it: runpool holds all of the experiment drivers' goroutines and
-// atomics so the kernels it fans out stay pure (testdata/d004runpool pins
-// that boundary).
+// internal/runpool fan-out pool, the internal/server network front end,
+// workload drivers) are deliberately outside it: runpool holds all of the
+// experiment drivers' goroutines and atomics so the kernels it fans out
+// stay pure (testdata/d004runpool pins that boundary), and server owns
+// the per-session goroutines and connection-table mutexes that drive the
+// kernels over TCP, reaching them only through engine.Guard
+// (testdata/d004server pins that boundary).
 var Rules = []RuleInfo{
 	{
 		ID:    "D001",

@@ -1,0 +1,39 @@
+// Package fixture pins internal/server's side of the D004 boundary: the
+// networked front end is wrapper-layer code — one goroutine per accepted
+// session, a mutex around the connection table, channels for shutdown —
+// and it reaches the pure kernels only through engine.Engine/engine.Guard.
+// The exact constructs D004 bans inside the kernel scope must pass clean
+// here. If internal/server is ever pulled into the kernel allowlist, this
+// fixture fails.
+//
+//simlint:path internal/server
+package fixture
+
+import "sync"
+
+// serve is the server's real shape in miniature: an accept loop handing
+// each session to its own goroutine, a mutex-guarded registry, and a
+// channel broadcast on shutdown — all legal outside the kernel scope.
+func serve(sessions []func(), stop chan struct{}) {
+	var mu sync.Mutex
+	active := make(map[int]bool)
+	var wg sync.WaitGroup
+	for i, s := range sessions {
+		mu.Lock()
+		active[i] = true
+		mu.Unlock()
+		wg.Add(1)
+		go func(i int, s func()) {
+			defer wg.Done()
+			select {
+			case <-stop:
+			default:
+				s()
+			}
+			mu.Lock()
+			delete(active, i)
+			mu.Unlock()
+		}(i, s)
+	}
+	wg.Wait()
+}

@@ -50,6 +50,13 @@ func (m Mode) String() string {
 // the caller must abort it.
 var ErrDeadlock = errors.New("lockmgr: deadlock detected; abort this transaction")
 
+// ErrReleased is returned by a Lock call that was still queued when
+// ReleaseAll ran for the same transaction: the lock was never granted, and
+// the transaction's locks are gone. Only a caller that races Lock against
+// its own commit/abort can observe it; the error exists so that race can
+// never be mistaken for a successful grant.
+var ErrReleased = errors.New("lockmgr: transaction released while waiting; lock not granted")
+
 type waiter struct {
 	txn   TxnID
 	mode  Mode
@@ -354,7 +361,10 @@ func (m *Manager) ReleaseAll(txn TxnID) {
 	delete(m.held, txn)
 	// txn may also sit in queues of pages it does not hold (it should not,
 	// because Lock blocks, but a deadlock victim might have raced). Scrub,
-	// in page order so wake-ups replay identically run to run.
+	// in page order so wake-ups replay identically run to run. The scrubbed
+	// waiter was never granted, so its parked Lock call must not return
+	// nil: hand it ErrReleased before waking it, exactly as evict hands
+	// ErrDeadlock to victims.
 	for _, p := range m.lockedPages() {
 		ls := m.locks[p]
 		changed := false
@@ -362,6 +372,7 @@ func (m *Manager) ReleaseAll(txn TxnID) {
 		for _, w := range ls.queue {
 			if w.txn == txn {
 				changed = true
+				w.err = ErrReleased
 				close(w.ready)
 				continue
 			}

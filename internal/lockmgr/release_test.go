@@ -1,0 +1,88 @@
+package lockmgr
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestReleaseAllScrubsQueuedWaiterWithError is the regression test for the
+// spurious-success wakeup: a waiter parked in a page queue whose transaction
+// has ReleaseAll run (the deadlock-victim race ReleaseAll's queue scrub
+// exists for) must NOT see its Lock call return nil — the lock was never
+// granted, and pre-fix the scrub closed the ready channel without setting
+// an error, so the caller believed it held the lock.
+func TestReleaseAllScrubsQueuedWaiterWithError(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 10, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.Lock(2, 10, Exclusive) }()
+	waitForWaits(t, m, 1)
+
+	// Race ReleaseAll(2) against the parked Lock(2, ...): the scrub finds
+	// txn 2 queued on page 10 and must wake it with an error.
+	m.ReleaseAll(2)
+
+	var err error
+	select {
+	case err = <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("scrubbed waiter never woke")
+	}
+	if err == nil {
+		t.Fatal("Lock reported success but the lock was never granted (spurious-success wakeup)")
+	}
+	if !errors.Is(err, ErrReleased) {
+		t.Fatalf("Lock returned %v, want ErrReleased", err)
+	}
+	if m.Holds(2, 10, Shared) || m.Holds(2, 10, Exclusive) {
+		t.Fatal("scrubbed waiter holds the lock it was never granted")
+	}
+
+	// The lock world must still be coherent: txn 1 still holds page 10,
+	// releases it, and a third transaction acquires it cleanly.
+	if !m.Holds(1, 10, Exclusive) {
+		t.Fatal("holder lost its lock during the scrub")
+	}
+	m.ReleaseAll(1)
+	if err := lockOrTimeout(t, m, 3, 10, Exclusive); err != nil {
+		t.Fatalf("fresh transaction cannot lock after scrub: %v", err)
+	}
+}
+
+// TestReleaseAllScrubWakesBlockedWaiters: scrubbing a queued waiter must
+// re-run the wake pass so transactions queued behind the scrubbed entry are
+// granted, not leaked.
+func TestReleaseAllScrubWakesBlockedWaiters(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 10, Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Txn 2 queues for X behind the S holder; txn 3 queues for S behind
+	// txn 2 (FIFO: an S request behind a queued X must wait).
+	got2 := make(chan error, 1)
+	go func() { got2 <- m.Lock(2, 10, Exclusive) }()
+	waitForWaits(t, m, 1)
+	got3 := make(chan error, 1)
+	go func() { got3 <- m.Lock(3, 10, Shared) }()
+	waitForWaits(t, m, 2)
+
+	// Scrubbing txn 2 out of the queue must grant txn 3's compatible S.
+	m.ReleaseAll(2)
+	if err := <-got2; !errors.Is(err, ErrReleased) {
+		t.Fatalf("scrubbed waiter returned %v, want ErrReleased", err)
+	}
+	select {
+	case err := <-got3:
+		if err != nil {
+			t.Fatalf("waiter behind scrubbed entry returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter behind scrubbed entry never granted")
+	}
+	if !m.Holds(3, 10, Shared) {
+		t.Fatal("waiter behind scrubbed entry not granted")
+	}
+}

@@ -1,0 +1,64 @@
+package live
+
+import (
+	"time"
+)
+
+// Sleep pauses the calling goroutine for d on the host clock. It lives here
+// because internal/obs/live is the one scope where blocking on wall time is
+// legal (simlint D001); commands that need real delays — dial-retry
+// backoff, open-loop pacing — reach them through this package instead of
+// calling time.Sleep themselves.
+func Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Pacer schedules open-loop arrivals at a fixed rate: each Wait blocks
+// until the next arrival instant and returns it. Unlike a closed loop —
+// where a slow server slows the request stream down — the schedule is fixed
+// at construction, so service-time degradation shows up as queueing delay
+// (measure latency from the returned arrival time, not from when Wait
+// unblocked the sender).
+//
+// A Pacer is owned by one dispatcher goroutine.
+type Pacer struct {
+	clock    Clock
+	sleep    func(time.Duration)
+	interval time.Duration
+	next     time.Time
+}
+
+// NewPacer returns a pacer emitting perSec arrivals per second on clock,
+// starting now. perSec must be positive.
+func NewPacer(clock Clock, perSec float64) *Pacer {
+	return newPacer(clock, perSec, Sleep)
+}
+
+// newPacer lets tests substitute the sleep function (pairing a ManualClock
+// with a sleep that advances it keeps the schedule fully deterministic).
+func newPacer(clock Clock, perSec float64, sleep func(time.Duration)) *Pacer {
+	if perSec <= 0 {
+		panic("live: pacer rate must be positive")
+	}
+	return &Pacer{
+		clock:    clock,
+		sleep:    sleep,
+		interval: time.Duration(float64(time.Second) / perSec),
+		next:     clock.Now(),
+	}
+}
+
+// Wait blocks until the next scheduled arrival and returns its instant.
+// When the caller has fallen behind the schedule, Wait returns immediately
+// with the overdue instant — arrivals are never silently dropped, they
+// queue, exactly as an open-loop workload demands.
+func (p *Pacer) Wait() time.Time {
+	arrival := p.next
+	p.next = arrival.Add(p.interval)
+	if d := arrival.Sub(p.clock.Now()); d > 0 {
+		p.sleep(d)
+	}
+	return arrival
+}

@@ -1,0 +1,65 @@
+package live
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPacerSchedule(t *testing.T) {
+	clock := NewManualClock(time.Unix(100, 0))
+	var slept []time.Duration
+	sleep := func(d time.Duration) {
+		slept = append(slept, d)
+		clock.Advance(d)
+	}
+	p := newPacer(clock, 10, sleep) // 100ms between arrivals
+	t0 := clock.Now()
+
+	for i := 0; i < 3; i++ {
+		got := p.Wait()
+		want := t0.Add(time.Duration(i) * 100 * time.Millisecond)
+		if !got.Equal(want) {
+			t.Fatalf("arrival %d = %v, want %v", i, got, want)
+		}
+	}
+	// The first arrival is due immediately; the next two each require one
+	// full-interval sleep because the workload itself consumes no time.
+	if len(slept) != 2 || slept[0] != 100*time.Millisecond || slept[1] != 100*time.Millisecond {
+		t.Fatalf("slept %v, want [100ms 100ms]", slept)
+	}
+}
+
+func TestPacerOverdueArrivalsDoNotSleep(t *testing.T) {
+	clock := NewManualClock(time.Unix(100, 0))
+	slept := 0
+	p := newPacer(clock, 10, func(d time.Duration) {
+		slept++
+		clock.Advance(d)
+	})
+	t0 := clock.Now()
+	p.Wait() // consume the immediate first arrival
+
+	// A stalled dispatcher returns to find several arrivals overdue: they
+	// must be handed out back-to-back, on schedule, with no sleeping.
+	clock.Advance(time.Second)
+	slept = 0
+	for i := 1; i <= 3; i++ {
+		got := p.Wait()
+		want := t0.Add(time.Duration(i) * 100 * time.Millisecond)
+		if !got.Equal(want) {
+			t.Fatalf("overdue arrival %d = %v, want %v", i, got, want)
+		}
+	}
+	if slept != 0 {
+		t.Fatalf("slept %d times while overdue, want 0", slept)
+	}
+}
+
+func TestPacerRejectsNonPositiveRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPacer(clock, 0) did not panic")
+		}
+	}()
+	NewPacer(NewManualClock(time.Unix(0, 0)), 0)
+}

@@ -86,8 +86,11 @@ func (s ProgressSnap) String() string {
 	return line
 }
 
+// roundSec renders a millisecond quantity as a duration rounded (not
+// truncated) to the nearest second: 59.9 s of elapsed time prints as
+// "1m0s", an eta of 0.9 s as "1s".
 func roundSec(ms float64) string {
-	return (time.Duration(ms*float64(time.Millisecond)) / time.Second * time.Second).String()
+	return time.Duration(ms * float64(time.Millisecond)).Round(time.Second).String()
 }
 
 // MarshalJSON renders the snapshot (convenience for the /progress handler).

@@ -102,6 +102,32 @@ func TestProgress(t *testing.T) {
 	stop()
 }
 
+// TestProgressStringRounds pins the ticker line's second-rounding: elapsed
+// and eta are rounded to the nearest second, never truncated (59.9 s used
+// to print "59s" and a 0.9 s eta printed "0s").
+func TestProgressStringRounds(t *testing.T) {
+	clock := NewManualClock(time.Unix(0, 0))
+	p := NewProgress(clock, "load")
+	p.AddTotal(600)
+	clock.Advance(59900 * time.Millisecond)
+	p.Add(599)
+	snap := p.Snapshot()
+	if got := snap.String(); !strings.Contains(got, "elapsed 1m0s") {
+		t.Errorf("elapsed 59.9s rendered %q, want it rounded to 1m0s", got)
+	}
+
+	// A sub-second eta rounds to the nearest second instead of printing 0s.
+	s := ProgressSnap{Label: "load", Done: 599, Total: 600, ElapsedMs: 59900, EtaMs: 900}
+	if got := s.String(); !strings.Contains(got, "eta 1s") {
+		t.Errorf("eta 0.9s rendered %q, want eta 1s", got)
+	}
+	// Exactly representable values stay put.
+	s = ProgressSnap{Label: "load", Done: 1, Total: 2, ElapsedMs: 12000, EtaMs: 41000}
+	if got := s.String(); !strings.Contains(got, "elapsed 12s eta 41s") {
+		t.Errorf("integral seconds rendered %q", got)
+	}
+}
+
 func TestProgressTicker(t *testing.T) {
 	clock := NewManualClock(time.Unix(0, 0))
 	p := NewProgress(clock, "tick")

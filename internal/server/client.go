@@ -1,0 +1,128 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+)
+
+// ErrDeadlock is returned by Client calls whose transaction was chosen as a
+// deadlock victim. The transaction has already been aborted server-side;
+// begin a new one and retry.
+var ErrDeadlock = errors.New("server: transaction aborted as deadlock victim (retry)")
+
+// ErrBusy is returned by Client calls rejected by a kernel admission limit
+// (e.g. the overwriting engines' fixed intention list). The transaction has
+// already been aborted server-side; begin a new one and retry, ideally
+// after a short backoff.
+var ErrBusy = errors.New("server: transaction aborted at kernel admission limit (retry)")
+
+// Client is one session against a dbserver: a single TCP connection
+// carrying strict request-response frames. A Client is owned by one
+// goroutine; open as many Clients as you want concurrent sessions.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	in   []byte
+	out  []byte
+}
+
+// Dial opens a session to addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (any net.Conn, e.g. one end of
+// a net.Pipe in tests).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 8<<10),
+		bw:   bufio.NewWriterSize(conn, 8<<10),
+	}
+}
+
+// Close ends the session. Transactions still open are aborted server-side.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends req and decodes the matching response, translating
+// StatusDeadlock and StatusError into errors.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.out = AppendRequest(c.out[:0], req)
+	if err := WriteFrame(c.bw, c.out); err != nil {
+		return Response{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Response{}, err
+	}
+	payload, err := ReadFrame(c.br, c.in)
+	if err != nil {
+		return Response{}, err
+	}
+	c.in = payload[:0]
+	resp, err := DecodeResponse(payload)
+	if err != nil {
+		return Response{}, err
+	}
+	if resp.Op != req.Op {
+		return Response{}, fmt.Errorf("server: response op %s for request %s — stream out of sync",
+			opName(resp.Op), opName(req.Op))
+	}
+	switch resp.Status {
+	case StatusOK:
+		return resp, nil
+	case StatusDeadlock:
+		return resp, ErrDeadlock
+	case StatusBusy:
+		return resp, ErrBusy
+	default:
+		return resp, fmt.Errorf("server: %s: %s", opName(req.Op), resp.Msg)
+	}
+}
+
+// Begin starts a transaction and returns its id.
+func (c *Client) Begin() (uint64, error) {
+	resp, err := c.roundTrip(Request{Op: OpBegin})
+	return resp.Txn, err
+}
+
+// Read returns page p under txn's shared lock. ErrDeadlock means txn was
+// aborted as a deadlock victim.
+func (c *Client) Read(txn uint64, p int64) ([]byte, error) {
+	resp, err := c.roundTrip(Request{Op: OpRead, Txn: txn, Page: p})
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), resp.Data...), nil
+}
+
+// Write replaces page p under txn's exclusive lock. ErrDeadlock means txn
+// was aborted as a deadlock victim.
+func (c *Client) Write(txn uint64, p int64, data []byte) error {
+	_, err := c.roundTrip(Request{Op: OpWrite, Txn: txn, Page: p, Data: data})
+	return err
+}
+
+// Commit makes txn durable and releases its locks.
+func (c *Client) Commit(txn uint64) error {
+	_, err := c.roundTrip(Request{Op: OpCommit, Txn: txn})
+	return err
+}
+
+// Abort rolls txn back and releases its locks.
+func (c *Client) Abort(txn uint64) error {
+	_, err := c.roundTrip(Request{Op: OpAbort, Txn: txn})
+	return err
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats})
+	return resp.Stats, err
+}

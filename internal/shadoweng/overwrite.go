@@ -19,6 +19,13 @@ const (
 func scratchID(k int64) pagestore.PageID { return pagestore.PageID(scratchBase - k) }
 func intentID(slot int) pagestore.PageID { return pagestore.PageID(intentBase - int64(slot)) }
 
+// ErrBusy is returned when every intention-list slot is held by a
+// concurrent transaction. The paper's intention list is a fixed on-disk
+// structure, so this is an admission limit, not a bug: the caller aborts
+// and retries once a slot frees up (wrapper layers surface it as a
+// retryable condition).
+var ErrBusy = errors.New("shadoweng: no free intent slot")
+
 // Variant selects the overwriting flavour.
 type Variant int
 
@@ -233,7 +240,7 @@ func (e *OverwriteEngine) freeSlot() (int, error) {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("shadoweng: no free intent slot (%d concurrent transactions)", intentSlots)
+	return 0, fmt.Errorf("%w (%d concurrent transactions)", ErrBusy, intentSlots)
 }
 
 func (e *OverwriteEngine) writeIntent(slot int, tid uint64, pairs [][2]int64) error {

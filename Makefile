@@ -49,7 +49,7 @@ race:
 # internal/diffeng) and their thread-safe wrapper (internal/engine), as
 # exercised by the kernel, engine, and fault-injection test suites. The
 # merged total is gated at COVER_MIN percent.
-COVER_MIN ?= 85
+COVER_MIN ?= 88
 COVER_PKGS = ./internal/wal,./internal/shadoweng,./internal/diffeng,./internal/engine
 
 cover:
@@ -64,12 +64,15 @@ cover:
 # Runpool scaling benchmark (table regeneration + crash sweep at jobs=1
 # vs jobs=4, byte-compared -> BENCH_runpool.json) followed by the Guard
 # mutex contention profile (per-op wait/hold percentiles over worker
-# counts -> BENCH_guard_contention.json; see docs/OBSERVABILITY.md). The
-# committed files record gomaxprocs — regenerate on a multi-core machine
-# for meaningful speedups.
+# counts -> BENCH_guard_contention.json) and the concurrency-envelope
+# scaling curve (plain vs group-commit vs striped-read ->
+# BENCH_guard.json; see docs/OBSERVABILITY.md). The committed files
+# record gomaxprocs — regenerate on a multi-core machine for meaningful
+# speedups.
 bench:
 	$(GO) run ./cmd/dbbench -out BENCH_runpool.json \
 		-guard-out BENCH_guard_contention.json
+	$(GO) run ./cmd/dbbench -guardscale -guardscale-out BENCH_guard.json
 
 # Short end-to-end smoke of the networked front end: dbload self-hosts an
 # in-process dbserver per architecture, drives concurrent debit/credit

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs/live"
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+// The guard-scaling benchmark compares the three concurrency envelopes the
+// Guard can run — plain (every operation through the one kernel mutex),
+// group-commit (concurrent committers batched into one log force), and
+// striped-read (committed-page reads served from per-stripe latches) —
+// over a worker-count sweep. Where BENCH_guard_contention.json profiles
+// *where* the mutex hurts, BENCH_guard.json measures what the relaxations
+// *buy*: transactions per second and client-observed commit latency
+// percentiles per mode per worker count. The committed file records
+// gomaxprocs; on a single-core container the curves show overhead parity
+// rather than speedup, so regenerate on a multi-core machine for the
+// scaling story.
+
+// scaleMode is one concurrency envelope under test.
+type scaleMode struct {
+	name   string
+	tuning func(jobs int, e *engine.Engine)
+}
+
+func scaleModes() []scaleMode {
+	return []scaleMode{
+		{"plain", func(int, *engine.Engine) {}},
+		// MaxWait 0 batches opportunistically: whoever queued while the
+		// previous batch drained rides the next force. A positive MaxWait
+		// only pays off when the force itself is expensive; on the
+		// simulated in-memory store it would just add latency.
+		{"group-commit", func(jobs int, e *engine.Engine) {
+			e.Guard().SetGroupCommit(engine.GroupCommitPolicy{MaxBatch: jobs}, nil)
+		}},
+		{"striped-read", func(_ int, e *engine.Engine) {
+			e.Guard().SetReadStripes(64)
+		}},
+	}
+}
+
+// ScalePoint is one (mode, workers) measurement.
+type ScalePoint struct {
+	Jobs       int           `json:"jobs"`
+	WallMs     float64       `json:"wall_ms"`
+	Commits    int64         `json:"commits"`
+	TxnsPerSec float64       `json:"txns_per_sec"`
+	CommitMs   live.HistSnap `json:"commit_ms"` // client-observed commit latency
+}
+
+// ScaleMode is one envelope's scaling curve.
+type ScaleMode struct {
+	Mode   string       `json:"mode"`
+	Points []ScalePoint `json:"points"`
+}
+
+// ScaleResult is the BENCH_guard.json document.
+type ScaleResult struct {
+	Benchmark     string      `json:"benchmark"`
+	GoMaxProcs    int         `json:"gomaxprocs"`
+	Engine        string      `json:"engine"`
+	TxnsPerWorker int         `json:"txns_per_worker"`
+	ReadsPerTxn   int         `json:"reads_per_txn"`
+	WritesPerTxn  int         `json:"writes_per_txn"`
+	Pages         int         `json:"pages"`
+	Seed          int64       `json:"seed"`
+	Modes         []ScaleMode `json:"modes"`
+}
+
+// scaleWorkload is guardWorkload with a read-heavy mix (so the stripe
+// cache has traffic to serve) and per-commit latency observation.
+func scaleWorkload(e *engine.Engine, rng *sim.RNG, txns, reads, writes, pages int, commitMs *live.Histogram, clock live.Clock) (int64, error) {
+	var commits int64
+	for t := 0; t < txns; t++ {
+		txn, err := e.Begin()
+		if err != nil {
+			return commits, err
+		}
+		ok := true
+		for r := 0; r < reads && ok; r++ {
+			if _, err := txn.Read(int64(rng.Intn(pages))); err != nil {
+				ok = false // deadlock victim: roll back and move on
+			}
+		}
+		for w := 0; w < writes && ok; w++ {
+			p := int64(rng.Intn(pages))
+			if err := txn.Write(p, []byte(fmt.Sprintf("w%d", t))); err != nil {
+				ok = false
+			}
+		}
+		if !ok {
+			_ = txn.Abort()
+			continue
+		}
+		start := clock.Now()
+		err = txn.Commit()
+		commitMs.Observe(float64(clock.Now().Sub(start)) / float64(time.Millisecond))
+		if err != nil {
+			continue
+		}
+		commits++
+	}
+	return commits, nil
+}
+
+// scalePoint measures one (mode, jobs) cell on a fresh WAL engine.
+func scalePoint(mode scaleMode, jobs, txns, reads, writes, pages int, seed int64) (ScalePoint, error) {
+	e := engine.NewWAL(wal.Config{})
+	for p := 0; p < pages; p++ {
+		if err := e.Load(int64(p), []byte("seed")); err != nil {
+			return ScalePoint{}, err
+		}
+	}
+	mode.tuning(jobs, e)
+
+	clock := live.Wall()
+	var commitMs live.Histogram
+	commits := make([]int64, jobs)
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	start := clock.Now()
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := sim.NewRNG(seed + int64(w))
+			commits[w], errs[w] = scaleWorkload(e, rng, txns, reads, writes, pages, &commitMs, clock)
+		}(w)
+	}
+	wg.Wait()
+	wallMs := float64(clock.Now().Sub(start).Microseconds()) / 1000
+
+	pt := ScalePoint{Jobs: jobs, WallMs: wallMs, CommitMs: commitMs.Snap()}
+	for w := 0; w < jobs; w++ {
+		if errs[w] != nil {
+			return pt, fmt.Errorf("mode %s worker %d: %w", mode.name, w, errs[w])
+		}
+		pt.Commits += commits[w]
+	}
+	if wallMs > 0 {
+		pt.TxnsPerSec = float64(jobs*txns) / (wallMs / 1000)
+	}
+	return pt, nil
+}
+
+// benchGuardScale sweeps workers 1, 2, 4, ... up to maxJobs (always
+// including maxJobs) across the three envelopes and writes BENCH_guard.json.
+func benchGuardScale(maxJobs, txns, reads, writes, pages int, seed int64, outPath string) error {
+	res := ScaleResult{
+		Benchmark:     "guard_scaling",
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Engine:        engine.NewWAL(wal.Config{}).Name(),
+		TxnsPerWorker: txns,
+		ReadsPerTxn:   reads,
+		WritesPerTxn:  writes,
+		Pages:         pages,
+		Seed:          seed,
+	}
+	var counts []int
+	for j := 1; j < maxJobs; j *= 2 {
+		counts = append(counts, j)
+	}
+	if len(counts) == 0 || counts[len(counts)-1] != maxJobs {
+		counts = append(counts, maxJobs)
+	}
+	for _, mode := range scaleModes() {
+		m := ScaleMode{Mode: mode.name}
+		for _, j := range counts {
+			pt, err := scalePoint(mode, j, txns, reads, writes, pages, seed)
+			if err != nil {
+				return err
+			}
+			m.Points = append(m.Points, pt)
+			fmt.Fprintf(os.Stderr,
+				"dbbench: guardscale %-12s jobs=%-2d wall %7.1fms  %9.0f txn/s  commit p50 %.4fms p95 %.4fms p99 %.4fms\n",
+				mode.name, j, pt.WallMs, pt.TxnsPerSec, pt.CommitMs.P50, pt.CommitMs.P95, pt.CommitMs.P99)
+		}
+		res.Modes = append(res.Modes, m)
+	}
+
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if outPath == "" {
+		os.Stdout.Write(enc)
+		return nil
+	}
+	if err := os.WriteFile(outPath, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dbbench: wrote %s\n", outPath)
+	return nil
+}

@@ -14,6 +14,11 @@
 //
 //	go run ./cmd/dbbench [-jobs 4] [-txns 12] [-every 4] [-out BENCH_runpool.json]
 //
+// Two further modes focus on the engine Guard: -guard-only emits the
+// mutex-contention profile (BENCH_guard_contention.json), and -guardscale
+// emits the concurrency-envelope scaling curve comparing the plain Guard
+// against group commit and striped reads (BENCH_guard.json).
+//
 // dbbench is a benchmark harness, not a simulator: it is one of the
 // places that are *supposed* to read the host clock. It does so through
 // internal/obs/live's Clock — the runtime observability layer where
@@ -152,6 +157,9 @@ func main() {
 	guardPages := flag.Int("guard-pages", 64, "guard-contention benchmark: database pages")
 	guardOut := flag.String("guard-out", "", "write the guard-contention JSON to this file (default stdout)")
 	guardOnly := flag.Bool("guard-only", false, "run only the guard-contention benchmark")
+	guardScale := flag.Bool("guardscale", false, "run only the guard-scaling benchmark (plain vs group-commit vs striped-read)")
+	guardReads := flag.Int("guard-reads", 8, "guard-scaling benchmark: page reads per transaction")
+	guardScaleOut := flag.String("guardscale-out", "", "write the guard-scaling JSON to this file (default stdout)")
 	liveAddr := flag.String("live", "", "serve live /metrics, /progress and /debug/pprof on this address while benchmarking (e.g. :9090)")
 	flag.Parse()
 
@@ -170,6 +178,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dbbench:", err)
 			os.Exit(1)
 		}
+	}
+	if *guardScale {
+		if err := benchGuardScale(*jobs, *guardTxns, *guardReads, *guardWrites, *guardPages, *seed, *guardScaleOut); err != nil {
+			fmt.Fprintln(os.Stderr, "dbbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *guardOnly {
 		runGuard()

@@ -1,0 +1,376 @@
+package engine
+
+// Concurrency envelope v2: two opt-in relaxations of the Guard's single
+// mutex, both preserving the kernels' single-threaded contract by
+// construction (see DESIGN.md "Concurrency envelope v2").
+//
+//   - Group commit: concurrent Commit callers are collected into a batch
+//     and one leader drains the whole batch through a single acquisition
+//     of the kernel mutex — the paper's group-force idea lifted to the
+//     envelope. The batch window is bounded by GroupCommitPolicy
+//     (MaxBatch members or MaxWait on the injected clock, whichever
+//     comes first).
+//
+//   - Striped read latching: Read and ReadCommitted are served from a
+//     guard-owned committed-page cache behind per-stripe RWMutexes, so
+//     reads of distinct pages proceed in parallel without touching the
+//     kernel mutex. Reads that miss fall through to the exclusive path;
+//     the cache is populated only with pages no active transaction has
+//     written, and invalidated on write, commit, abort, load, crash,
+//     and recover. Reads that reach the kernel still serialize.
+//
+// Both relaxations are wrapper-side machinery and live outside the
+// simlint D004 kernel scope (testdata/d004group pins that boundary):
+// the kernels themselves stay pure and are never entered by more than
+// one goroutine at a time.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs/live"
+)
+
+// ErrGroupAborted is returned to a group-commit waiter whose kernel commit
+// was never attempted because an earlier member of the same batch failed:
+// the group force did not complete, so the transaction was rolled back
+// (best-effort) instead of committed. It wraps no success — every waiter
+// in a failed batch observes a non-nil error.
+var ErrGroupAborted = fmt.Errorf("engine: group commit aborted")
+
+// GroupCommitPolicy bounds the group-commit batch window. A batch is
+// flushed as soon as MaxBatch commits have joined it, or MaxWait after the
+// first member arrived, whichever comes first. MaxBatch values below one
+// are treated as one; a policy of {MaxBatch: 1, MaxWait: 0} is exactly the
+// plain Guard commit path and disables batching.
+type GroupCommitPolicy struct {
+	// MaxBatch is the largest number of commits drained per kernel pass.
+	MaxBatch int
+	// MaxWait bounds how long a lone committer can be delayed waiting for
+	// company; zero flushes whatever has queued immediately (opportunistic
+	// batching with no added latency).
+	MaxWait time.Duration
+}
+
+// commitWaiter is one transaction parked in the group-commit queue.
+type commitWaiter struct {
+	tid  uint64
+	err  error
+	done chan struct{}
+}
+
+// groupCommitter batches Guard.Commit calls. The first committer to find
+// no batch forming becomes the leader: it opens the window, waits for it
+// to close (MaxBatch reached or MaxWait expired), then drains every queued
+// member through one acquisition of the Guard's kernel mutex and fans the
+// per-member results out. Later committers just enqueue and wait.
+type groupCommitter struct {
+	g      *Guard
+	policy GroupCommitPolicy
+	clock  live.Clock
+	sleep  func(time.Duration) // injected so ManualClock tests control time
+
+	mu      sync.Mutex
+	queue   []*commitWaiter
+	leading bool
+	full    chan struct{} // closed when the forming batch reaches MaxBatch
+	fullSig bool
+	opened  time.Time // when the forming batch's window opened
+}
+
+// commit enqueues tid and blocks until its batch is flushed, returning
+// this transaction's own kernel commit result.
+func (gc *groupCommitter) commit(tid uint64) error {
+	w := &commitWaiter{tid: tid, done: make(chan struct{})}
+	gc.mu.Lock()
+	if gc.leading {
+		gc.queue = append(gc.queue, w)
+		if len(gc.queue) >= gc.policy.MaxBatch && !gc.fullSig {
+			gc.fullSig = true
+			close(gc.full)
+		}
+		gc.mu.Unlock()
+		<-w.done
+		return w.err
+	}
+	gc.leading = true
+	gc.queue = []*commitWaiter{w}
+	gc.full = make(chan struct{})
+	gc.fullSig = false
+	gc.opened = gc.clock.Now()
+	full := gc.full
+	if gc.policy.MaxBatch <= 1 {
+		gc.fullSig = true
+		close(full)
+	}
+	gc.mu.Unlock()
+
+	gc.await(full)
+
+	gc.mu.Lock()
+	batch := gc.queue
+	gc.queue = nil
+	gc.leading = false
+	wasFull := gc.fullSig
+	waitMs := float64(gc.clock.Now().Sub(gc.opened)) / float64(time.Millisecond)
+	gc.mu.Unlock()
+
+	gc.flush(batch, waitMs, wasFull)
+	return w.err
+}
+
+// await blocks the leader until the window closes: the batch fills, or
+// MaxWait expires on the injected clock. A MaxWait of zero (or less)
+// closes the window immediately — whatever raced in gets batched, and a
+// lone committer proceeds with no added latency.
+func (gc *groupCommitter) await(full chan struct{}) {
+	select {
+	case <-full:
+		return
+	default:
+	}
+	if gc.policy.MaxWait <= 0 {
+		return
+	}
+	timer := make(chan struct{})
+	go func() {
+		gc.sleep(gc.policy.MaxWait)
+		close(timer)
+	}()
+	select {
+	case <-full:
+	case <-timer:
+	}
+}
+
+// flush drains one batch under a single acquisition of the kernel mutex:
+// members commit in arrival order, and the first kernel error aborts the
+// rest of the group — unattempted members are rolled back (best-effort)
+// and receive ErrGroupAborted, so no waiter ever observes a spurious
+// success. Per-member results are published before done is closed.
+func (gc *groupCommitter) flush(batch []*commitWaiter, waitMs float64, full bool) {
+	g := gc.g
+	tok := g.mx.Load().Enter(live.GuardCommit)
+	g.mu.Lock()
+	tok.Acquired()
+	var failed error
+	for _, w := range batch {
+		g.commits.Inc()
+		if failed != nil {
+			_ = g.rm.Abort(w.tid) // may itself fail; the txn is a loser either way
+			w.err = fmt.Errorf("%w: a preceding member of the batch failed: %v", ErrGroupAborted, failed)
+		} else {
+			w.err = g.rm.Commit(w.tid)
+			if w.err != nil {
+				failed = w.err
+			}
+		}
+		if sc := g.stripes.Load(); sc != nil {
+			sc.finishTxn(w.tid)
+		}
+	}
+	g.mu.Unlock()
+	tok.Release()
+	g.mx.Load().ObserveCommitBatch(len(batch), waitMs, full)
+	for _, w := range batch {
+		close(w.done)
+	}
+}
+
+// SetGroupCommit attaches a group-commit policy to the Guard, batching
+// concurrent Commit callers per the policy with the window timed on clock
+// (nil defaults to the wall clock). A policy of {MaxBatch: 1, MaxWait: 0}
+// — or anything that normalizes to it — detaches batching and restores
+// the plain commit path. Like SetReadStripes, call it while the Guard is
+// quiescent (setup time, or between workloads).
+func (g *Guard) SetGroupCommit(policy GroupCommitPolicy, clock live.Clock) {
+	g.setGroupCommit(policy, clock, live.Sleep)
+}
+
+// setGroupCommit is SetGroupCommit with the leader's sleep function
+// injected, so policy tests pair a ManualClock with a scripted sleep.
+func (g *Guard) setGroupCommit(policy GroupCommitPolicy, clock live.Clock, sleep func(time.Duration)) {
+	if policy.MaxBatch < 1 {
+		policy.MaxBatch = 1
+	}
+	if policy.MaxWait < 0 {
+		policy.MaxWait = 0
+	}
+	if policy.MaxBatch == 1 && policy.MaxWait == 0 {
+		g.gc.Store(nil)
+		return
+	}
+	if clock == nil {
+		clock = live.Wall()
+	}
+	g.gc.Store(&groupCommitter{g: g, policy: policy, clock: clock, sleep: sleep})
+}
+
+// GroupCommit reports the attached batching policy, or ok=false when
+// commits run on the plain path.
+func (g *Guard) GroupCommit() (policy GroupCommitPolicy, ok bool) {
+	gc := g.gc.Load()
+	if gc == nil {
+		return GroupCommitPolicy{}, false
+	}
+	return gc.policy, true
+}
+
+// stripeCap bounds the committed-page cache per stripe so a scan-heavy
+// workload cannot grow the guard without bound.
+const stripeCap = 1024
+
+// stripeCache is the guard-owned committed-page cache behind the striped
+// read path. The stripes' RWMutexes order concurrent readers against
+// invalidation; the dirty/tx bookkeeping is only ever touched while the
+// Guard's kernel mutex is held, so it needs no lock of its own.
+type stripeCache struct {
+	stripes []cacheStripe
+	mask    uint64
+
+	// dirty counts active writers per page; a page with a nonzero count
+	// must not be cached (an active transaction's Read of it would see
+	// its own uncommitted write, which is not committed state).
+	dirty map[int64]int
+	// tx records each active transaction's written pages so commit and
+	// abort can release the dirty counts.
+	tx map[uint64]map[int64]struct{}
+}
+
+type cacheStripe struct {
+	mu    sync.RWMutex
+	pages map[int64][]byte
+}
+
+func newStripeCache(n int) *stripeCache {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	sc := &stripeCache{
+		stripes: make([]cacheStripe, size),
+		mask:    uint64(size - 1),
+		dirty:   make(map[int64]int),
+		tx:      make(map[uint64]map[int64]struct{}),
+	}
+	for i := range sc.stripes {
+		sc.stripes[i].pages = make(map[int64][]byte)
+	}
+	return sc
+}
+
+func (sc *stripeCache) stripe(p int64) *cacheStripe {
+	// Mix the page id so striding page ranges spread across stripes.
+	h := uint64(p) * 0x9e3779b97f4a7c15
+	return &sc.stripes[(h>>32)&sc.mask]
+}
+
+// get serves page p from the cache, returning a private copy. It takes
+// only the stripe's read latch — never the kernel mutex.
+func (sc *stripeCache) get(p int64) ([]byte, bool) {
+	s := sc.stripe(p)
+	s.mu.RLock()
+	v, ok := s.pages[p]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	s.mu.RUnlock()
+	return out, true
+}
+
+// put caches a private copy of page p's committed image. Called with the
+// kernel mutex held, after the caller verified clean(p).
+func (sc *stripeCache) put(p int64, v []byte) {
+	s := sc.stripe(p)
+	s.mu.Lock()
+	if _, ok := s.pages[p]; !ok && len(s.pages) >= stripeCap {
+		s.mu.Unlock()
+		return
+	}
+	buf := make([]byte, len(v))
+	copy(buf, v)
+	s.pages[p] = buf
+	s.mu.Unlock()
+}
+
+// clean reports whether no active transaction has written page p. Called
+// with the kernel mutex held.
+func (sc *stripeCache) clean(p int64) bool { return sc.dirty[p] == 0 }
+
+// invalidate drops page p. Called with the kernel mutex held.
+func (sc *stripeCache) invalidate(p int64) {
+	s := sc.stripe(p)
+	s.mu.Lock()
+	delete(s.pages, p)
+	s.mu.Unlock()
+}
+
+// invalidateAll empties the cache and forgets all writer bookkeeping —
+// the crash/recover path. Called with the kernel mutex held.
+func (sc *stripeCache) invalidateAll() {
+	for i := range sc.stripes {
+		s := &sc.stripes[i]
+		s.mu.Lock()
+		s.pages = make(map[int64][]byte)
+		s.mu.Unlock()
+	}
+	sc.dirty = make(map[int64]int)
+	sc.tx = make(map[uint64]map[int64]struct{})
+}
+
+// noteWrite marks page p dirty on behalf of tid and drops any cached
+// image. Called with the kernel mutex held, before the kernel write (a
+// torn kernel write must still invalidate).
+func (sc *stripeCache) noteWrite(tid uint64, p int64) {
+	set := sc.tx[tid]
+	if set == nil {
+		set = make(map[int64]struct{})
+		sc.tx[tid] = set
+	}
+	if _, seen := set[p]; !seen {
+		set[p] = struct{}{}
+		sc.dirty[p]++
+	}
+	sc.invalidate(p)
+}
+
+// finishTxn releases tid's dirty counts after commit or abort; the pages
+// become cacheable again on their next clean read. Called with the kernel
+// mutex held.
+func (sc *stripeCache) finishTxn(tid uint64) {
+	for p := range sc.tx[tid] {
+		if sc.dirty[p]--; sc.dirty[p] <= 0 {
+			delete(sc.dirty, p)
+		}
+	}
+	delete(sc.tx, tid)
+}
+
+// SetReadStripes attaches a striped committed-page cache with at least n
+// stripes (rounded up to a power of two), letting Read and ReadCommitted
+// on distinct pages proceed in parallel without the kernel mutex; n <= 0
+// detaches the cache and restores the fully serialized read path. Call it
+// while the Guard is quiescent: the cache assumes every page written by a
+// still-active transaction is tracked, which only holds if no transaction
+// predates the cache.
+func (g *Guard) SetReadStripes(n int) {
+	if n <= 0 {
+		g.stripes.Store(nil)
+		return
+	}
+	g.stripes.Store(newStripeCache(n))
+}
+
+// ReadStripes reports the stripe count of the attached read cache, or 0
+// when reads are fully serialized.
+func (g *Guard) ReadStripes() int {
+	sc := g.stripes.Load()
+	if sc == nil {
+		return 0
+	}
+	return len(sc.stripes)
+}

@@ -1,0 +1,476 @@
+package engine
+
+// Unit tests for the relaxed concurrency envelope (groupguard.go): the
+// group-commit policy driven by a ManualClock with a scripted sleep, the
+// error fan-out that keeps a failed batch free of spurious successes
+// (regression-shaped like the PR 8 lockmgr ErrReleased bug), and the
+// striped committed-page cache's invalidation rules. The cross-layer
+// equivalence proof lives in concequiv_test.go (package engine_test).
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs/live"
+	"repro/internal/wal"
+)
+
+// fakeRM is a scriptable in-memory kernel for policy tests: it records the
+// order of commit and abort calls and can be told to fail commits.
+type fakeRM struct {
+	stubRM
+	commits []uint64
+	aborts  []uint64
+	// failNext makes the next attempted commit fail with this error, once.
+	failNext error
+}
+
+func (f *fakeRM) Commit(tid uint64) error {
+	f.commits = append(f.commits, tid)
+	if err := f.failNext; err != nil {
+		f.failNext = nil
+		return err
+	}
+	return nil
+}
+
+func (f *fakeRM) Abort(tid uint64) error {
+	f.aborts = append(f.aborts, tid)
+	return nil
+}
+
+// scriptedSleep is the leader's injected sleep for ManualClock tests. Each
+// call reports its duration on calls, then blocks until the test releases
+// the gate (at which point the clock is advanced by the requested amount)
+// or the test ends.
+type scriptedSleep struct {
+	clock *live.ManualClock
+	calls chan time.Duration
+	gate  chan struct{}
+	done  chan struct{}
+}
+
+func newScriptedSleep(t *testing.T, clock *live.ManualClock) *scriptedSleep {
+	s := &scriptedSleep{
+		clock: clock,
+		calls: make(chan time.Duration, 8),
+		gate:  make(chan struct{}, 8),
+		done:  make(chan struct{}),
+	}
+	t.Cleanup(func() { close(s.done) })
+	return s
+}
+
+func (s *scriptedSleep) sleep(d time.Duration) {
+	s.calls <- d
+	select {
+	case <-s.gate:
+		s.clock.Advance(d)
+	case <-s.done:
+	}
+}
+
+// groupState reads the committer's forming-batch size under its own lock.
+func groupState(g *Guard) (queued int, leading bool) {
+	gc := g.gc.Load()
+	if gc == nil {
+		return 0, false
+	}
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return len(gc.queue), gc.leading
+}
+
+// waitQueued spins until the forming batch holds n members.
+func waitQueued(t *testing.T, g *Guard, n int) {
+	t.Helper()
+	for i := 0; i < 1e7; i++ {
+		if q, _ := groupState(g); q == n {
+			return
+		}
+		runtime.Gosched()
+	}
+	q, leading := groupState(g)
+	t.Fatalf("queue never reached %d members (at %d, leading=%v)", n, q, leading)
+}
+
+func groupGuard(t *testing.T, rm RecoveryManager, p GroupCommitPolicy) (*Guard, *live.ManualClock, *scriptedSleep, *live.GuardMetrics) {
+	t.Helper()
+	clock := live.NewManualClock(time.Unix(1000, 0))
+	sleep := newScriptedSleep(t, clock)
+	g := NewGuard(rm)
+	gm := live.NewGuardMetrics(clock)
+	g.SetMetrics(gm)
+	g.setGroupCommit(p, clock, sleep.sleep)
+	return g, clock, sleep, gm
+}
+
+// TestGroupCommitMaxWaitFlushesPartialBatch parks two committers (fewer
+// than MaxBatch) and lets MaxWait expire on the manual clock: the partial
+// batch must flush as one kernel pass, in arrival order, with the batch
+// metrics recording a timer flush whose window is exactly MaxWait.
+func TestGroupCommitMaxWaitFlushesPartialBatch(t *testing.T) {
+	const maxWait = 10 * time.Millisecond
+	fake := &fakeRM{}
+	g, clock, sleep, gm := groupGuard(t, fake, GroupCommitPolicy{MaxBatch: 4, MaxWait: maxWait})
+	start := clock.Now()
+
+	errs := make(chan error, 2)
+	go func() { errs <- g.Commit(1) }()
+	// The leader must be parked in its MaxWait sleep before the second
+	// committer joins, so the join is unambiguous.
+	if d := <-sleep.calls; d != maxWait {
+		t.Fatalf("leader slept %v, want MaxWait %v", d, maxWait)
+	}
+	waitQueued(t, g, 1)
+	go func() { errs <- g.Commit(2) }()
+	waitQueued(t, g, 2)
+
+	sleep.gate <- struct{}{} // let MaxWait expire
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+
+	if want := []uint64{1, 2}; fmt.Sprint(fake.commits) != fmt.Sprint(want) {
+		t.Errorf("kernel commit order = %v, want %v", fake.commits, want)
+	}
+	if got := clock.Now().Sub(start); got != maxWait {
+		t.Errorf("clock advanced %v, want exactly MaxWait %v", got, maxWait)
+	}
+	if n := gm.CommitBatchSize().Count(); n != 1 {
+		t.Fatalf("batches observed = %d, want 1", n)
+	}
+	if got := gm.CommitBatchSize().Sum(); got != 2 {
+		t.Errorf("batch size = %v, want 2", got)
+	}
+	if got := gm.CommitBatchWait().Sum(); got != 10 {
+		t.Errorf("batch window = %vms, want 10ms", got)
+	}
+	if gm.FlushTimer() != 1 || gm.FlushFull() != 0 {
+		t.Errorf("flush reasons: timer=%d full=%d, want timer=1 full=0",
+			gm.FlushTimer(), gm.FlushFull())
+	}
+}
+
+// TestGroupCommitMaxBatchFlushesEarly fills the batch to MaxBatch while
+// the MaxWait timer is still pending: the flush must happen without the
+// clock ever advancing.
+func TestGroupCommitMaxBatchFlushesEarly(t *testing.T) {
+	fake := &fakeRM{}
+	g, clock, sleep, gm := groupGuard(t, fake, GroupCommitPolicy{MaxBatch: 3, MaxWait: time.Hour})
+	start := clock.Now()
+
+	errs := make(chan error, 3)
+	go func() { errs <- g.Commit(1) }()
+	<-sleep.calls // leader parked on the (never-released) timer
+	waitQueued(t, g, 1)
+	go func() { errs <- g.Commit(2) }()
+	waitQueued(t, g, 2)
+	go func() { errs <- g.Commit(3) }()
+
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	if got := clock.Now(); !got.Equal(start) {
+		t.Errorf("clock advanced to %v; a full batch must not wait", got)
+	}
+	if want := []uint64{1, 2, 3}; fmt.Sprint(fake.commits) != fmt.Sprint(want) {
+		t.Errorf("kernel commit order = %v, want %v", fake.commits, want)
+	}
+	if n := gm.CommitBatchSize().Count(); n != 1 {
+		t.Fatalf("batches observed = %d, want 1", n)
+	}
+	if got := gm.CommitBatchSize().Sum(); got != 3 {
+		t.Errorf("batch size = %v, want 3", got)
+	}
+	if gm.FlushFull() != 1 || gm.FlushTimer() != 0 {
+		t.Errorf("flush reasons: full=%d timer=%d, want full=1 timer=0",
+			gm.FlushFull(), gm.FlushTimer())
+	}
+}
+
+// TestGroupCommitLoneCommitterBoundedByMaxWait proves a committer with no
+// company is delayed by exactly one MaxWait window and nothing more: the
+// only sleep the leader ever requests is MaxWait itself.
+func TestGroupCommitLoneCommitterBoundedByMaxWait(t *testing.T) {
+	const maxWait = 5 * time.Millisecond
+	fake := &fakeRM{}
+	g, clock, sleep, gm := groupGuard(t, fake, GroupCommitPolicy{MaxBatch: 8, MaxWait: maxWait})
+	start := clock.Now()
+
+	errs := make(chan error, 1)
+	go func() { errs <- g.Commit(7) }()
+	if d := <-sleep.calls; d != maxWait {
+		t.Fatalf("leader slept %v, want MaxWait %v", d, maxWait)
+	}
+	sleep.gate <- struct{}{}
+	if err := <-errs; err != nil {
+		t.Fatalf("lone commit: %v", err)
+	}
+	select {
+	case d := <-sleep.calls:
+		t.Fatalf("unexpected extra sleep of %v", d)
+	default:
+	}
+	if got := clock.Now().Sub(start); got != maxWait {
+		t.Errorf("lone committer delayed %v, want exactly MaxWait %v", got, maxWait)
+	}
+	if gm.FlushTimer() != 1 || gm.CommitBatchSize().Sum() != 1 {
+		t.Errorf("want one timer flush of batch size 1 (timer=%d size-sum=%v)",
+			gm.FlushTimer(), gm.CommitBatchSize().Sum())
+	}
+}
+
+// TestGroupCommitErrorFansOutToWholeBatch makes the first kernel commit of
+// a full batch fail: the failing member must see the kernel's error, every
+// later member must see ErrGroupAborted (their commits were never
+// attempted; they are rolled back instead), and NO member may observe a
+// nil result — the spurious-success shape of the PR 8 lockmgr bug.
+func TestGroupCommitErrorFansOutToWholeBatch(t *testing.T) {
+	forceErr := errors.New("log force failed")
+	fake := &fakeRM{failNext: forceErr}
+	g, _, sleep, _ := groupGuard(t, fake, GroupCommitPolicy{MaxBatch: 3, MaxWait: time.Hour})
+
+	type result struct {
+		tid uint64
+		err error
+	}
+	results := make(chan result, 3)
+	go func() { results <- result{1, g.Commit(1)} }()
+	<-sleep.calls
+	waitQueued(t, g, 1)
+	go func() { results <- result{2, g.Commit(2)} }()
+	waitQueued(t, g, 2)
+	go func() { results <- result{3, g.Commit(3)} }()
+
+	byTid := map[uint64]error{}
+	for i := 0; i < 3; i++ {
+		r := <-results
+		byTid[r.tid] = r.err
+	}
+	for tid, err := range byTid {
+		if err == nil {
+			t.Fatalf("txn %d: nil commit result from a failed batch (spurious success)", tid)
+		}
+	}
+	if !errors.Is(byTid[1], forceErr) {
+		t.Errorf("txn 1 = %v, want the kernel error", byTid[1])
+	}
+	for _, tid := range []uint64{2, 3} {
+		if !errors.Is(byTid[tid], ErrGroupAborted) {
+			t.Errorf("txn %d = %v, want ErrGroupAborted", tid, byTid[tid])
+		}
+	}
+	if want := []uint64{1}; fmt.Sprint(fake.commits) != fmt.Sprint(want) {
+		t.Errorf("kernel commits attempted = %v, want only %v", fake.commits, want)
+	}
+	if want := []uint64{2, 3}; fmt.Sprint(fake.aborts) != fmt.Sprint(want) {
+		t.Errorf("kernel aborts = %v, want %v (unattempted members rolled back)", fake.aborts, want)
+	}
+}
+
+// TestGroupCommitPolicyNormalization: a policy that normalizes to
+// {MaxBatch: 1, MaxWait: 0} is the plain path, and anything else attaches.
+func TestGroupCommitPolicyNormalization(t *testing.T) {
+	g := NewGuard(&fakeRM{})
+	for _, p := range []GroupCommitPolicy{{}, {MaxBatch: 1}, {MaxBatch: -3, MaxWait: -time.Second}} {
+		g.SetGroupCommit(p, nil)
+		if _, ok := g.GroupCommit(); ok {
+			t.Errorf("policy %+v should disable batching", p)
+		}
+	}
+	g.SetGroupCommit(GroupCommitPolicy{MaxBatch: 4}, nil)
+	if p, ok := g.GroupCommit(); !ok || p.MaxBatch != 4 {
+		t.Fatalf("GroupCommit() = %+v,%v after attach", p, ok)
+	}
+	if err := g.Commit(1); err != nil { // batched solo commit, MaxWait 0
+		t.Fatalf("solo batched commit: %v", err)
+	}
+	g.SetGroupCommit(GroupCommitPolicy{}, nil)
+	if _, ok := g.GroupCommit(); ok {
+		t.Fatal("detach failed")
+	}
+}
+
+// TestStripedReadCache covers the invalidation rules directly against a
+// real WAL kernel through the raw Guard (no 2PL): a dirty page is never
+// cached, commit and abort re-admit pages, and crash/recover empties the
+// cache.
+func TestStripedReadCache(t *testing.T) {
+	e := NewWAL(wal.Config{})
+	g := e.Guard()
+	clock := live.NewManualClock(time.Unix(0, 0))
+	gm := live.NewGuardMetrics(clock)
+	g.SetMetrics(gm)
+	g.SetReadStripes(8)
+	if got := g.ReadStripes(); got != 8 {
+		t.Fatalf("ReadStripes() = %d, want 8", got)
+	}
+
+	v0 := []byte("committed-v0")
+	if err := g.Load(5, v0); err != nil {
+		t.Fatal(err)
+	}
+
+	// First committed read misses and populates; second hits the stripe.
+	if err := g.Begin(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		v, err := g.Read(1, 5)
+		if err != nil || !bytes.Equal(v, v0) {
+			t.Fatalf("read %d = %q, %v", i, v, err)
+		}
+	}
+	if gm.ReadCacheHits() == 0 || gm.ReadCacheMisses() == 0 {
+		t.Fatalf("hits=%d misses=%d, want both nonzero", gm.ReadCacheHits(), gm.ReadCacheMisses())
+	}
+
+	// A cached value must be a private copy: mutating what Read returned
+	// must not corrupt the cache.
+	v, _ := g.Read(1, 5)
+	v[0] = 'X'
+	if got, _ := g.Read(1, 5); !bytes.Equal(got, v0) {
+		t.Fatalf("cache corrupted through a returned slice: %q", got)
+	}
+
+	// While txn 2 holds an uncommitted write of page 5, the page is dirty:
+	// reads fall through to the kernel, and nothing the kernel returns for
+	// it may enter the cache.
+	if err := g.Begin(2); err != nil {
+		t.Fatal(err)
+	}
+	v1 := []byte("uncommitted-v1")
+	if err := g.Write(2, 5, v1); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := g.Read(2, 5); err != nil || !bytes.Equal(got, v1) {
+		t.Fatalf("writer's own read = %q, %v (want its uncommitted write)", got, err)
+	}
+	if err := g.Abort(2); err != nil {
+		t.Fatal(err)
+	}
+	// If the uncommitted value had been cached, this would serve v1.
+	if got, err := g.ReadCommitted(5); err != nil || !bytes.Equal(got, v0) {
+		t.Fatalf("after abort ReadCommitted = %q, %v, want %q", got, err, v0)
+	}
+
+	// Commit invalidates: a committed overwrite must be visible even
+	// though the old image was cached.
+	v2 := []byte("committed-v2")
+	if err := g.Begin(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Write(3, 5, v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Commit(3); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := g.ReadCommitted(5); err != nil || !bytes.Equal(got, v2) {
+		t.Fatalf("after commit ReadCommitted = %q, %v, want %q", got, err, v2)
+	}
+
+	// Crash/recover drops the cache; the recovered image re-enters it.
+	g.Crash()
+	if err := g.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := g.ReadCommitted(5); err != nil || !bytes.Equal(got, v2) {
+		t.Fatalf("after recover ReadCommitted = %q, %v, want %q", got, err, v2)
+	}
+
+	g.SetReadStripes(0)
+	if got := g.ReadStripes(); got != 0 {
+		t.Fatalf("ReadStripes() = %d after detach", got)
+	}
+}
+
+// TestOpCountsConcurrentWithLoad pins the satellite fix: OpCounts is
+// snapshotted from atomic counters with NO kernel lock, so it must be
+// safe (and monotone per key) while transaction load hammers the same
+// Guard. Run under -race this also proves the counters are sound to
+// scrape without the mutex.
+func TestOpCountsConcurrentWithLoad(t *testing.T) {
+	e := NewWAL(wal.Config{})
+	for p := int64(0); p < 8; p++ {
+		if err := e.Load(p, []byte("seed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const workers, txns = 4, 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Scraper: OpCounts must never regress while load is in flight.
+	scraped := make(chan int64, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := map[string]int64{}
+		var polls int64
+		for {
+			polls++
+			counts := e.Guard().OpCounts()
+			for k, v := range counts {
+				if v < last[k] {
+					t.Errorf("counter %q regressed: %d -> %d", k, last[k], v)
+					scraped <- polls
+					return
+				}
+				last[k] = v
+			}
+			select {
+			case <-stop:
+				scraped <- polls
+				return
+			default:
+			}
+		}
+	}()
+
+	var load sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		load.Add(1)
+		go func(w int) {
+			defer load.Done()
+			for i := 0; i < txns; i++ {
+				p := int64((w*txns + i) % 8)
+				err := e.Update(func(tx *Txn) error {
+					if _, err := tx.Read(p); err != nil {
+						return err
+					}
+					return tx.Write(p, []byte("v"))
+				})
+				if err != nil {
+					t.Errorf("worker %d txn %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	load.Wait()
+	close(stop)
+	wg.Wait()
+	if polls := <-scraped; polls < 2 {
+		t.Fatalf("scraper made only %d polls", polls)
+	}
+
+	ops := e.Guard().OpCounts()
+	if ops["commits"] != workers*txns {
+		t.Errorf("commits = %d, want %d", ops["commits"], workers*txns)
+	}
+	if ops["begins"] != ops["commits"]+ops["aborts"] {
+		t.Errorf("unbalanced: begins=%d commits=%d aborts=%d",
+			ops["begins"], ops["commits"], ops["aborts"])
+	}
+}

@@ -47,8 +47,13 @@ var ErrUnsupported = fmt.Errorf("engine: operation not supported by this recover
 
 // Guard wraps a pure recovery kernel, making it safe for concurrent use.
 // All kernel calls — transactional operations and maintenance alike — are
-// serialized behind a single mutex, and per-operation obs counters record
-// the traffic the kernel absorbed.
+// serialized behind a single mutex, and per-operation atomic counters
+// record the traffic the kernel absorbed. Two opt-in relaxations of the
+// envelope live in groupguard.go: group commit (SetGroupCommit) batches
+// concurrent committers through one mutex acquisition, and striped read
+// latching (SetReadStripes) serves reads of committed pages from a
+// guard-owned cache without the mutex at all. Neither changes what the
+// kernel sees: every kernel call still happens under the one mutex.
 type Guard struct {
 	mu sync.Mutex
 	rm RecoveryManager
@@ -59,13 +64,23 @@ type Guard struct {
 	// operation a no-op.
 	mx atomic.Pointer[live.GuardMetrics]
 
-	reads, writes obs.Counter
-	begins        obs.Counter
-	commits       obs.Counter
-	aborts        obs.Counter
-	recoveries    obs.Counter
-	checkpoints   obs.Counter
-	merges        obs.Counter
+	// gc batches concurrent commits (nil: plain path); stripes is the
+	// committed-page cache behind the parallel read path (nil: all reads
+	// serialize). Both are attached atomically, like mx.
+	gc      atomic.Pointer[groupCommitter]
+	stripes atomic.Pointer[stripeCache]
+
+	// The op counters are live.Counters (single atomic words), NOT values
+	// guarded by mu: hot paths increment them while holding the mutex,
+	// but OpCounts snapshots them without it — scraping must never queue
+	// behind the kernel.
+	reads, writes live.Counter
+	begins        live.Counter
+	commits       live.Counter
+	aborts        live.Counter
+	recoveries    live.Counter
+	checkpoints   live.Counter
+	merges        live.Counter
 }
 
 // NewGuard wraps kernel rm. Wrapping an already-wrapped kernel returns it
@@ -91,6 +106,9 @@ func (g *Guard) Load(p int64, data []byte) error {
 	tok.Acquired()
 	defer g.mu.Unlock()
 	defer tok.Release()
+	if sc := g.stripes.Load(); sc != nil {
+		sc.invalidate(p)
+	}
 	return g.rm.Load(p, data)
 }
 
@@ -105,15 +123,34 @@ func (g *Guard) Begin(tid uint64) error {
 	return g.rm.Begin(tid)
 }
 
-// Read returns page p as seen by tid.
+// Read returns page p as seen by tid (which must be an active
+// transaction). With a stripe cache attached, a read of a page no active
+// transaction has written is served from the cache under a stripe read
+// latch — in parallel with other reads, without the kernel mutex. A page
+// in no active write set reads identically for every transaction, so the
+// committed image is exactly tid's view of it.
 func (g *Guard) Read(tid uint64, p int64) ([]byte, error) {
+	if sc := g.stripes.Load(); sc != nil {
+		if v, ok := sc.get(p); ok {
+			g.reads.Inc()
+			g.mx.Load().ReadCacheHit()
+			return v, nil
+		}
+		g.mx.Load().ReadCacheMiss()
+	}
 	tok := g.mx.Load().Enter(live.GuardRead)
 	g.mu.Lock()
 	tok.Acquired()
 	defer g.mu.Unlock()
 	defer tok.Release()
 	g.reads.Inc()
-	return g.rm.Read(tid, p)
+	v, err := g.rm.Read(tid, p)
+	if err == nil {
+		if sc := g.stripes.Load(); sc != nil && sc.clean(p) {
+			sc.put(p, v)
+		}
+	}
+	return v, err
 }
 
 // Write replaces page p on behalf of tid.
@@ -124,18 +161,32 @@ func (g *Guard) Write(tid uint64, p int64, data []byte) error {
 	defer g.mu.Unlock()
 	defer tok.Release()
 	g.writes.Inc()
+	if sc := g.stripes.Load(); sc != nil {
+		// Before the kernel call: even a write the kernel tears mid-crash
+		// must leave no stale committed image behind.
+		sc.noteWrite(tid, p)
+	}
 	return g.rm.Write(tid, p, data)
 }
 
-// Commit makes tid durable.
+// Commit makes tid durable. With a group-commit policy attached
+// (SetGroupCommit), the call may park until its batch flushes; the result
+// is always this transaction's own kernel commit outcome.
 func (g *Guard) Commit(tid uint64) error {
+	if gc := g.gc.Load(); gc != nil {
+		return gc.commit(tid)
+	}
 	tok := g.mx.Load().Enter(live.GuardCommit)
 	g.mu.Lock()
 	tok.Acquired()
 	defer g.mu.Unlock()
 	defer tok.Release()
 	g.commits.Inc()
-	return g.rm.Commit(tid)
+	err := g.rm.Commit(tid)
+	if sc := g.stripes.Load(); sc != nil {
+		sc.finishTxn(tid)
+	}
+	return err
 }
 
 // Abort rolls tid back.
@@ -146,38 +197,66 @@ func (g *Guard) Abort(tid uint64) error {
 	defer g.mu.Unlock()
 	defer tok.Release()
 	g.aborts.Inc()
-	return g.rm.Abort(tid)
+	err := g.rm.Abort(tid)
+	if sc := g.stripes.Load(); sc != nil {
+		sc.finishTxn(tid)
+	}
+	return err
 }
 
-// Crash simulates power loss on the kernel.
+// Crash simulates power loss on the kernel. Volatile state — including
+// the guard's committed-page cache and its writer bookkeeping — is lost
+// with the machine.
 func (g *Guard) Crash() {
 	tok := g.mx.Load().Enter(live.GuardOther)
 	g.mu.Lock()
 	tok.Acquired()
 	defer g.mu.Unlock()
 	defer tok.Release()
+	if sc := g.stripes.Load(); sc != nil {
+		sc.invalidateAll()
+	}
 	g.rm.Crash()
 }
 
-// Recover runs restart recovery on the kernel.
+// Recover runs restart recovery on the kernel. Anything the guard cached
+// before the crash is dropped; recovered pages re-enter the cache on
+// their next clean read.
 func (g *Guard) Recover() error {
 	tok := g.mx.Load().Enter(live.GuardRecover)
 	g.mu.Lock()
 	tok.Acquired()
 	defer g.mu.Unlock()
 	defer tok.Release()
+	if sc := g.stripes.Load(); sc != nil {
+		sc.invalidateAll()
+	}
 	g.recoveries.Inc()
 	return g.rm.Recover()
 }
 
-// ReadCommitted reads the committed contents of page p.
+// ReadCommitted reads the committed contents of page p. Like Read, it is
+// served from the stripe cache when one is attached and the page is clean.
 func (g *Guard) ReadCommitted(p int64) ([]byte, error) {
+	if sc := g.stripes.Load(); sc != nil {
+		if v, ok := sc.get(p); ok {
+			g.mx.Load().ReadCacheHit()
+			return v, nil
+		}
+		g.mx.Load().ReadCacheMiss()
+	}
 	tok := g.mx.Load().Enter(live.GuardOther)
 	g.mu.Lock()
 	tok.Acquired()
 	defer g.mu.Unlock()
 	defer tok.Release()
-	return g.rm.ReadCommitted(p)
+	v, err := g.rm.ReadCommitted(p)
+	if err == nil {
+		if sc := g.stripes.Load(); sc != nil && sc.clean(p) {
+			sc.put(p, v)
+		}
+	}
+	return v, err
 }
 
 // Checkpoint runs the kernel's checkpoint maintenance operation under the
@@ -231,10 +310,13 @@ func (g *Guard) Stats() map[string]int64 {
 }
 
 // OpCounts reports the guard's own instrumentation: how many operations of
-// each kind the kernel absorbed since construction.
+// each kind the kernel absorbed since construction. The counters are
+// atomic (live.Counter), so the snapshot is taken WITHOUT the kernel
+// mutex — a scraper polling OpCounts never queues behind transactions.
+// Each value is read atomically but the set is not a consistent cut;
+// every counter is individually monotone. (Stats, by contrast, must call
+// into the kernel and therefore still serializes under the mutex.)
 func (g *Guard) OpCounts() map[string]int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	return map[string]int64{
 		"begins":      g.begins.Value(),
 		"reads":       g.reads.Value(),

@@ -115,10 +115,14 @@ type RuleInfo struct {
 // internal/runpool fan-out pool, the internal/server network front end,
 // workload drivers) are deliberately outside it: runpool holds all of the
 // experiment drivers' goroutines and atomics so the kernels it fans out
-// stay pure (testdata/d004runpool pins that boundary), and server owns
+// stay pure (testdata/d004runpool pins that boundary), server owns
 // the per-session goroutines and connection-table mutexes that drive the
 // kernels over TCP, reaching them only through engine.Guard
-// (testdata/d004server pins that boundary).
+// (testdata/d004server pins that boundary), and engine's groupguard.go —
+// the relaxed concurrency envelope of group-commit batching and striped
+// read latches — keeps its mutexes, channels, and atomics on the wrapper
+// side of the same line: every kernel call it makes still runs under the
+// one kernel mutex (testdata/d004group pins that boundary).
 var Rules = []RuleInfo{
 	{
 		ID:    "D001",

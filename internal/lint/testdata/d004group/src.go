@@ -1,0 +1,71 @@
+// Package fixture pins the relaxed concurrency envelope's side of the
+// D004 boundary: internal/engine's groupguard.go is wrapper-layer code —
+// a mutex-guarded commit batch, channels to park and release waiters, an
+// atomic pointer for lock-free opt-in — and every kernel call it makes
+// still happens under the one kernel mutex. The exact constructs D004
+// bans inside the kernel scope must pass clean here. If internal/engine
+// is ever pulled into the kernel allowlist, this fixture fails and the
+// group-commit/striped-read layer has to move.
+//
+//simlint:path internal/engine
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// batcher is groupguard.go's real shape in miniature: joiners queue under
+// a mutex, the leader drains the queue in one pass, and completion fans
+// out over per-waiter channels.
+type batcher struct {
+	mu      sync.Mutex
+	queue   []chan struct{}
+	leading bool
+}
+
+// commit parks the caller until its batch is flushed — legal outside the
+// kernel scope, where D004 would reject every line of it.
+func (b *batcher) commit() {
+	done := make(chan struct{})
+	b.mu.Lock()
+	b.queue = append(b.queue, done)
+	if b.leading {
+		b.mu.Unlock()
+		<-done
+		return
+	}
+	b.leading = true
+	b.mu.Unlock()
+
+	b.mu.Lock()
+	batch := b.queue
+	b.queue, b.leading = nil, false
+	b.mu.Unlock()
+	for _, w := range batch {
+		close(w)
+	}
+}
+
+// cache is the striped read layer in miniature: an atomic pointer makes
+// the whole relaxation an opt-in, and per-stripe RWMutexes serve reads
+// without the kernel lock.
+type cache struct {
+	stripes atomic.Pointer[stripe]
+}
+
+type stripe struct {
+	mu    sync.RWMutex
+	pages map[int64][]byte
+}
+
+func (c *cache) get(p int64) ([]byte, bool) {
+	s := c.stripes.Load()
+	if s == nil {
+		return nil, false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.pages[p]
+	return v, ok
+}

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// GuardTuning is the serving-side configuration of the engine Guard's
+// relaxed concurrency envelope (group commit and striped read latching —
+// see docs/DESIGN.md, "Concurrency envelope v2"). The zero value is the
+// plain envelope: every operation serializes through the kernel mutex,
+// exactly as before the relaxation existed.
+type GuardTuning struct {
+	// GroupCommit is the group-commit batch cap (GroupCommitPolicy.MaxBatch).
+	// 0 or 1 disables batching.
+	GroupCommit int
+	// GroupWait bounds how long a commit leader holds the batch window open
+	// for company (GroupCommitPolicy.MaxWait). 0 flushes opportunistically:
+	// whoever queued while the previous batch drained rides along.
+	GroupWait time.Duration
+	// ReadStripes is the number of latch stripes for the committed-page
+	// read cache; 0 disables striped reads. Values round up to a power of
+	// two.
+	ReadStripes int
+}
+
+// Enabled reports whether the tuning relaxes anything over the plain Guard.
+func (t GuardTuning) Enabled() bool {
+	return t.GroupCommit > 1 || t.ReadStripes > 0
+}
+
+// String renders the tuning the way dbserver logs it.
+func (t GuardTuning) String() string {
+	if !t.Enabled() {
+		return "plain guard"
+	}
+	s := "plain commits"
+	if t.GroupCommit > 1 {
+		s = fmt.Sprintf("group commit (batch %d, wait %v)", t.GroupCommit, t.GroupWait)
+	}
+	if t.ReadStripes > 0 {
+		s += fmt.Sprintf(" + %d read stripes", t.ReadStripes)
+	}
+	return s
+}
+
+// Apply configures e's Guard with the tuning. Call before the engine takes
+// traffic: installing read stripes on a quiescent engine is a documented
+// requirement of Guard.SetReadStripes.
+func (t GuardTuning) Apply(e *engine.Engine) {
+	e.Guard().SetGroupCommit(engine.GroupCommitPolicy{
+		MaxBatch: t.GroupCommit,
+		MaxWait:  t.GroupWait,
+	}, nil)
+	e.Guard().SetReadStripes(t.ReadStripes)
+}

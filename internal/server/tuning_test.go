@@ -1,0 +1,123 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs/live"
+)
+
+func TestGuardTuningApplyAndString(t *testing.T) {
+	var zero GuardTuning
+	if zero.Enabled() {
+		t.Error("zero tuning reports enabled")
+	}
+	if got := zero.String(); got != "plain guard" {
+		t.Errorf("zero tuning String() = %q", got)
+	}
+
+	full := GuardTuning{GroupCommit: 8, GroupWait: 2 * time.Millisecond, ReadStripes: 16}
+	if !full.Enabled() {
+		t.Error("full tuning reports disabled")
+	}
+	if got := full.String(); got != "group commit (batch 8, wait 2ms) + 16 read stripes" {
+		t.Errorf("full tuning String() = %q", got)
+	}
+
+	eng, err := NewEngine("wal-1stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.Apply(eng)
+	if p, ok := eng.Guard().GroupCommit(); !ok || p.MaxBatch != 8 || p.MaxWait != 2*time.Millisecond {
+		t.Errorf("applied policy = %+v,%v", p, ok)
+	}
+	if got := eng.Guard().ReadStripes(); got != 16 {
+		t.Errorf("applied stripes = %d", got)
+	}
+	zero.Apply(eng)
+	if _, ok := eng.Guard().GroupCommit(); ok {
+		t.Error("zero tuning did not detach group commit")
+	}
+	if got := eng.Guard().ReadStripes(); got != 0 {
+		t.Errorf("zero tuning left %d stripes", got)
+	}
+}
+
+// TestTunedServerConservesBalances runs the debit/credit workload through a
+// server whose Guard has the full relaxed envelope, then crashes and
+// recovers: money must be conserved exactly as with the plain Guard.
+func TestTunedServerConservesBalances(t *testing.T) {
+	const (
+		sessions = 8
+		txns     = 2
+		pages    = 8
+		value    = int64(100)
+	)
+	eng, err := NewEngine("wal-1stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := InitPages(eng, pages, value); err != nil {
+		t.Fatal(err)
+	}
+	GuardTuning{GroupCommit: 4, GroupWait: time.Millisecond, ReadStripes: 8}.Apply(eng)
+
+	srv := New(eng, Config{Metrics: NewMetrics(live.Wall())})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	var retries atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, sessions)
+	for w := 0; w < sessions; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			c, err := Dial(addr.String())
+			if err != nil {
+				errc <- fmt.Errorf("session %d: %w", w, err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < txns; i++ {
+				if err := transferT(c, rng, pages, &retries); err != nil {
+					errc <- fmt.Errorf("session %d txn %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Crash()
+	if err := eng.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	var sum int64
+	for p := 0; p < pages; p++ {
+		img, err := eng.ReadCommitted(int64(p))
+		if err != nil {
+			t.Fatalf("read committed page %d: %v", p, err)
+		}
+		sum += DecodeBalance(img)
+	}
+	if want := int64(pages) * value; sum != want {
+		t.Fatalf("balance sum %d after crash+recover, want %d", sum, want)
+	}
+}

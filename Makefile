@@ -3,12 +3,12 @@
 GO ?= go
 
 .PHONY: all build vet lint test race cover bench gobench tables examples fuzz ci clean
-.PHONY: crashsweep crashsweep-short serve-smoke bench-server
+.PHONY: crashsweep crashsweep-short crashsweep-file serve-smoke bench-server
 
 all: build vet lint test
 
 # What .github/workflows/ci.yml runs.
-ci: build vet lint test race cover crashsweep-short serve-smoke
+ci: build vet lint test race cover crashsweep-short crashsweep-file serve-smoke
 
 # Deterministic crash-injection sweep with recovery audits
 # (see internal/faultinj and docs/FAULTS.md).
@@ -20,6 +20,17 @@ crashsweep:
 # exercises the parallel fan-out; the report is byte-identical to -jobs 1.
 crashsweep-short:
 	$(GO) run ./cmd/crashsweep -every 2 -machine-points 4 -jobs 4
+
+# File-backed sweep for CI: the same crash/recover/audit cycle on real
+# storage (internal/pagestore/filestore) — power cuts, torn writes, and
+# lost fsyncs injected at every 5th file operation of all seven
+# architectures. The full file sweep is `crashsweep -file -every 1`
+# (2504 points); this bounded one still covers every fault kind on
+# every engine in a few seconds. Scratch dirs live under a temp dir
+# crashsweep creates and removes itself.
+crashsweep-file:
+	$(GO) run ./cmd/crashsweep -file -every 5 -machine-points 0 -jobs 4 \
+		-report crashsweep-file-report.txt
 
 # simlint: the repo's determinism & simulator-invariant analyzer
 # (stdlib-only, built from source; see docs/LINTING.md). The wall time is

@@ -39,6 +39,10 @@ func main() {
 	jobs := flag.Int("jobs", 0,
 		"worker count for fanning crash points out (0 = GOMAXPROCS); any value produces a byte-identical report")
 	report := flag.String("report", "", "write the report to this file instead of stdout")
+	fileSweep := flag.Bool("file", false,
+		"additionally sweep file-backed stores at file-operation granularity (power cuts, torn writes, lost fsyncs on a real WAL)")
+	fileDir := flag.String("file-dir", "",
+		"scratch directory for the file-backed sweep (default: a fresh temp dir, removed afterwards)")
 	machinePoints := flag.Int("machine-points", 8,
 		"virtual-time crash instants per performance-simulator model (0 disables the machine sweep)")
 	machineTxns := flag.Int("machine-txns", 10, "transactions per performance-simulator run")
@@ -92,6 +96,30 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *fileSweep {
+		root := *fileDir
+		if root == "" {
+			tmp, err := os.MkdirTemp("", "crashsweep-file-")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(tmp)
+			root = tmp
+		} else if err := os.MkdirAll(root, 0o755); err != nil {
+			fatal(err)
+		}
+		ftargets, err := faultinj.FileTargetsByName(root, *engines)
+		if err != nil {
+			fatal(err)
+		}
+		frs, err := faultinj.SweepFiles(ftargets, faultinj.Options{
+			Seed: *seed, Every: *every, Jobs: *jobs, Progress: prog,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		rep.Files = frs
 	}
 	if *machinePoints > 0 {
 		ms, err := faultinj.SweepMachines(faultinj.MachineOptions{

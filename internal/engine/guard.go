@@ -70,6 +70,11 @@ type Guard struct {
 	gc      atomic.Pointer[groupCommitter]
 	stripes atomic.Pointer[stripeCache]
 
+	// journal is the guard's own copy of the attached recovery journal
+	// (guarded by mu): backup-plane operations (Snapshot, Restore) are
+	// guard-side, not kernel-side, so the guard emits their events itself.
+	journal *obs.Journal
+
 	// The op counters are live.Counters (single atomic words), NOT values
 	// guarded by mu: hot paths increment them while holding the mutex,
 	// but OpCounts snapshots them without it — scraping must never queue
@@ -357,6 +362,7 @@ func (g *Guard) Metrics() *live.GuardMetrics { return g.mx.Load() }
 func (g *Guard) SetJournal(j *obs.Journal) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.journal = j
 	jk, ok := g.rm.(Journaled)
 	if !ok {
 		return ErrUnsupported

@@ -30,6 +30,7 @@ func (a walAdapter) Recover() error               { return a.m.Recover() }
 func (a walAdapter) Checkpoint() error            { return a.m.Checkpoint() }
 func (a walAdapter) Stats() map[string]int64      { return a.m.Stats() }
 func (a walAdapter) SetJournal(j *obs.Journal)    { a.m.SetJournal(j) }
+func (a walAdapter) Stores() []*pagestore.Store   { return a.m.Stores() }
 func (a walAdapter) Read(tid uint64, p int64) ([]byte, error) {
 	return a.m.Read(tid, pagestore.PageID(p))
 }

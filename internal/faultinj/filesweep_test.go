@@ -1,0 +1,154 @@
+package faultinj
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pagestore"
+)
+
+// TestSweepFileTargetQuick runs a strided file-operation sweep over one
+// architecture on real files and requires every audit to pass, with all
+// three fault kinds represented.
+func TestSweepFileTargetQuick(t *testing.T) {
+	tg := FileTargets(t.TempDir())[2] // shadow
+	rep, err := SweepFileTarget(tg, Options{Seed: 1985, Every: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FileOps == 0 || rep.Points == 0 {
+		t.Fatalf("empty sweep: %+v", rep)
+	}
+	if rep.Torn == 0 || rep.LostSyncs == 0 {
+		t.Fatalf("fault kinds missing: torn=%d lostsyncs=%d (stride must hit appends AND syncs)",
+			rep.Torn, rep.LostSyncs)
+	}
+	if len(rep.Failures) != 0 {
+		t.Fatalf("file sweep failures: %v", rep.Failures)
+	}
+}
+
+// TestSweepFilesWALTarget covers the two-store (data + log) layout: the
+// WAL engine's log chunks live on their own file-backed store and the
+// fault point countdown spans both stores.
+func TestSweepFilesWALTarget(t *testing.T) {
+	tg := FileTargets(t.TempDir())[0] // wal-1stream
+	rep, err := SweepFileTarget(tg, Options{Seed: 1985, Every: 9, MaxTxns: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Points == 0 {
+		t.Fatal("no points")
+	}
+	if len(rep.Failures) != 0 {
+		t.Fatalf("file sweep failures: %v", rep.Failures)
+	}
+}
+
+// TestFileTargetsCleanRemovesDirs: a finished sweep leaves nothing behind
+// in the scratch root.
+func TestFileTargetsCleanRemovesDirs(t *testing.T) {
+	root := t.TempDir()
+	tg := FileTargets(root)[6] // difffile: smallest workload
+	if _, err := SweepFileTarget(tg, Options{Seed: 1985, Every: 5}); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("scratch root not cleaned: %d entries left (%v ...)", len(ents), ents[0].Name())
+	}
+}
+
+// TestFileSweepCatchesLyingSync is the negative control the whole file
+// fault surface exists for: a device that ACKNOWLEDGES fsyncs without
+// performing them violates the stable-storage contract, and the same
+// audits that pass 0-failure sweeps on the honest device must flag it.
+// (Referenced by filestore's TestSkipSyncViolatesDurability.)
+func TestFileSweepCatchesLyingSync(t *testing.T) {
+	opt := Options{Seed: 1985}.withDefaults()
+	caught := false
+	for _, tg := range []Target{FileTargets(t.TempDir())[2]} { // shadow
+		e, stores, err := tg.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := LoadPages(e, opt.Pages)
+		if err != nil {
+			tg.clean(stores)
+			t.Fatal(err)
+		}
+		// From the 20th file operation on, every fsync lies; the 120th
+		// operation cuts power, losing every "durable" write in between.
+		var n atomic.Int64
+		lie := func(op pagestore.FileOp, name string, seq int64) pagestore.FileFault {
+			k := n.Add(1)
+			if k >= 120 {
+				return pagestore.FileCrash
+			}
+			if k >= 20 && op == pagestore.FileSync {
+				return pagestore.FileSkipSync
+			}
+			return pagestore.FileOK
+		}
+		if err := armFileHook(tg, stores, lie); err != nil {
+			tg.clean(stores)
+			t.Fatal(err)
+		}
+		out := RunScript(e, model, opt.Seed, opt.Pages, opt.MaxTxns)
+		e.Crash()
+		if err := armFileHook(tg, stores, nil); err != nil {
+			tg.clean(stores)
+			t.Fatal(err)
+		}
+		if err := e.Recover(); err != nil {
+			// Recovery itself refusing the corrupted state counts as
+			// detection.
+			caught = true
+		} else {
+			fails, _ := AuditState(e, out, opt.Pages)
+			fails = append(fails, AuditIdempotence(e, opt.Pages)...)
+			if len(fails) > 0 {
+				caught = true
+			}
+		}
+		tg.clean(stores)
+	}
+	if !caught {
+		t.Fatal("a lying fsync device produced no audit failures — the sweep cannot detect durability violations")
+	}
+}
+
+// TestFileReportRendering: the file section renders deterministically and
+// only when present (memory-only reports stay byte-identical).
+func TestFileReportRendering(t *testing.T) {
+	base := &Report{Seed: 1, Every: 1, Pages: 6, MaxTxns: 25,
+		Engines: []*TargetReport{{Target: "shadow", Mutations: 3, Points: 3}}}
+	var memOnly bytes.Buffer
+	if err := base.Render(&memOnly); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(memOnly.String(), "file-backed") {
+		t.Fatal("memory-only report mentions the file section")
+	}
+	base.Files = []*FileTargetReport{{Target: "shadow", FileOps: 6, Points: 9, Torn: 2, LostSyncs: 1,
+		Failures: []string{"shadow@fileop 3 (torn): boom"}}}
+	var withFiles bytes.Buffer
+	if err := base.Render(&withFiles); err != nil {
+		t.Fatal(err)
+	}
+	out := withFiles.String()
+	for _, want := range []string{"file-backed crash points", "lostsyncs", "FAIL shadow@fileop 3 (torn): boom", "12 crash points, 1 failures — FAIL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasPrefix(withFiles.String(), memOnly.String()[:len("crashsweep report")]) {
+		t.Fatal("header diverged")
+	}
+}

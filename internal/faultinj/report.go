@@ -16,6 +16,7 @@ type Report struct {
 	MaxTxns int
 
 	Engines  []*TargetReport
+	Files    []*FileTargetReport
 	Machines []*ModelReport
 }
 
@@ -24,6 +25,9 @@ func (r *Report) TotalPoints() int {
 	n := 0
 	for _, tr := range r.Engines {
 		n += tr.Points
+	}
+	for _, fr := range r.Files {
+		n += fr.Points
 	}
 	for _, mr := range r.Machines {
 		n += mr.Points
@@ -36,6 +40,9 @@ func (r *Report) TotalFailures() int {
 	n := 0
 	for _, tr := range r.Engines {
 		n += len(tr.Failures)
+	}
+	for _, fr := range r.Files {
+		n += len(fr.Failures)
 	}
 	for _, mr := range r.Machines {
 		n += len(mr.Failures)
@@ -72,6 +79,25 @@ func (r *Report) Render(w io.Writer) error {
 			return err
 		}
 	}
+	if len(r.Files) > 0 {
+		if err := p("file-backed crash points (fault the k-th file operation: power cut, torn write at appends, lost fsync at syncs):\n"); err != nil {
+			return err
+		}
+		if err := p("  %-12s %8s %7s %6s %9s %9s %8s %9s\n",
+			"engine", "fileops", "points", "torn", "lostsyncs", "recrashes", "commits", "failures"); err != nil {
+			return err
+		}
+		for _, fr := range r.Files {
+			if err := p("  %-12s %8d %7d %6d %9d %9d %8d %9d\n",
+				fr.Target, fr.FileOps, fr.Points, fr.Torn, fr.LostSyncs,
+				fr.Recrashes, fr.Commits, len(fr.Failures)); err != nil {
+				return err
+			}
+		}
+		if err := p("\n"); err != nil {
+			return err
+		}
+	}
 	if len(r.Machines) > 0 {
 		if err := p("performance-simulator crash points (cut at virtual time t, audit determinism/monotonicity/resume):\n"); err != nil {
 			return err
@@ -92,6 +118,13 @@ func (r *Report) Render(w io.Writer) error {
 	}
 	for _, tr := range r.Engines {
 		for _, f := range tr.Failures {
+			if err := p("FAIL %s\n", f); err != nil {
+				return err
+			}
+		}
+	}
+	for _, fr := range r.Files {
+		for _, f := range fr.Failures {
 			if err := p("FAIL %s\n", f); err != nil {
 				return err
 			}

@@ -21,6 +21,17 @@ import (
 type Target struct {
 	Name  string
 	Build func() (*engine.Engine, []*pagestore.Store, error)
+	// Clean, when non-nil, releases whatever Build allocated outside the
+	// process (file-backed targets close their stores and remove their
+	// per-build directories). It runs after every audited point and after
+	// the probe run; in-memory targets leave it nil.
+	Clean func(stores []*pagestore.Store)
+}
+
+func (tg Target) clean(stores []*pagestore.Store) {
+	if tg.Clean != nil {
+		tg.Clean(stores)
+	}
 }
 
 // Targets returns every recovery architecture the sweep knows, mirroring
@@ -29,35 +40,35 @@ type Target struct {
 // and differential files.
 func Targets() []Target {
 	return []Target{
-		{"wal-1stream", func() (*engine.Engine, []*pagestore.Store, error) {
+		{Name: "wal-1stream", Build: func() (*engine.Engine, []*pagestore.Store, error) {
 			store := pagestore.New(4096)
 			e, m := engine.NewWALOn(store, wal.Config{PoolPages: 4})
 			return e, []*pagestore.Store{store, m.LogStore()}, nil
 		}},
-		{"wal-3streams", func() (*engine.Engine, []*pagestore.Store, error) {
+		{Name: "wal-3streams", Build: func() (*engine.Engine, []*pagestore.Store, error) {
 			store := pagestore.New(4096)
 			e, m := engine.NewWALOn(store, wal.Config{Streams: 3, Selection: wal.PageMod, PoolPages: 4})
 			return e, []*pagestore.Store{store, m.LogStore()}, nil
 		}},
-		{"shadow", func() (*engine.Engine, []*pagestore.Store, error) {
+		{Name: "shadow", Build: func() (*engine.Engine, []*pagestore.Store, error) {
 			store := pagestore.New(4096)
 			e, err := engine.NewShadowOn(store)
 			return e, []*pagestore.Store{store}, err
 		}},
-		{"ow-noundo", func() (*engine.Engine, []*pagestore.Store, error) {
+		{Name: "ow-noundo", Build: func() (*engine.Engine, []*pagestore.Store, error) {
 			store := pagestore.New(4096)
 			return engine.NewOverwriteOn(store, shadoweng.NoUndo), []*pagestore.Store{store}, nil
 		}},
-		{"ow-noredo", func() (*engine.Engine, []*pagestore.Store, error) {
+		{Name: "ow-noredo", Build: func() (*engine.Engine, []*pagestore.Store, error) {
 			store := pagestore.New(4096)
 			return engine.NewOverwriteOn(store, shadoweng.NoRedo), []*pagestore.Store{store}, nil
 		}},
-		{"verselect", func() (*engine.Engine, []*pagestore.Store, error) {
+		{Name: "verselect", Build: func() (*engine.Engine, []*pagestore.Store, error) {
 			store := pagestore.New(4096)
 			e, err := engine.NewVersionSelectOn(store)
 			return e, []*pagestore.Store{store}, err
 		}},
-		{"difffile", func() (*engine.Engine, []*pagestore.Store, error) {
+		{Name: "difffile", Build: func() (*engine.Engine, []*pagestore.Store, error) {
 			store := pagestore.New(4096)
 			return engine.NewDiffOn(store), []*pagestore.Store{store}, nil
 		}},
@@ -67,7 +78,10 @@ func Targets() []Target {
 // TargetsByName filters Targets to the comma-separated names in sel; empty
 // or "all" selects everything.
 func TargetsByName(sel string) ([]Target, error) {
-	all := Targets()
+	return selectTargets(Targets(), sel)
+}
+
+func selectTargets(all []Target, sel string) ([]Target, error) {
 	if sel == "" || sel == "all" {
 		return all, nil
 	}
@@ -155,6 +169,7 @@ func SweepTarget(tg Target, opt Options) (*TargetReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("faultinj: build %s: %w", tg.Name, err)
 	}
+	defer tg.clean(stores)
 	model, err := LoadPages(e, opt.Pages)
 	if err != nil {
 		return nil, fmt.Errorf("faultinj: load %s: %w", tg.Name, err)
@@ -231,6 +246,7 @@ func sweepPoint(tg Target, opt Options, k int64, journal *obs.Journal) (*pointOu
 	if err != nil {
 		return nil, fmt.Errorf("faultinj: build %s: %w", tg.Name, err)
 	}
+	defer tg.clean(stores)
 	if journal != nil {
 		if err := e.Guard().SetJournal(journal); err != nil {
 			return nil, fmt.Errorf("faultinj: %s does not journal: %w", tg.Name, err)

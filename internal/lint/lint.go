@@ -122,7 +122,18 @@ type RuleInfo struct {
 // the relaxed concurrency envelope of group-commit batching and striped
 // read latches — keeps its mutexes, channels, and atomics on the wrapper
 // side of the same line: every kernel call it makes still runs under the
-// one kernel mutex (testdata/d004group pins that boundary).
+// one kernel mutex (testdata/d004group pins that boundary). The
+// file-backed stable-storage backend (internal/pagestore/filestore) is
+// wrapper-side too: it owns the os.File handles and fsync barriers that
+// make the pagestore durable, is serialized by the owning
+// pagestore.Store, and is never entered by kernel code directly — kernels
+// reach the disk only through *pagestore.Store, so the file surface must
+// stay outside the D004/D006 kernel scopes (testdata/d004filestore pins
+// that boundary). On the D007 side the same seam appears as
+// Snapshotter.Stores(): a kernel handing []*pagestore.Store to the
+// wrapper's snapshot plane is exempt exactly like a single
+// *pagestore.Store — the elements are the thread-safe substrate — while a
+// slice of anything else still escapes (testdata/d007 pins both sides).
 var Rules = []RuleInfo{
 	{
 		ID:    "D001",

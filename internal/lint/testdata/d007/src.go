@@ -65,3 +65,20 @@ func (p *Pool) Stats() map[string]int64 {
 		"order":  int64(len(p.order)),
 	}
 }
+
+// Stores hands the snapshot plane every stable store at once: a slice of
+// the thread-safe substrate is as exempt as a single *pagestore.Store
+// (the filestore-backed stores ride the same seam).
+func (p *Pool) Stores() []*pagestore.Store {
+	return []*pagestore.Store{p.logs}
+}
+
+// Frames is the negative control for the slice unwrap: a slice of
+// NON-exempt slices into kernel state must still be flagged.
+func (p *Pool) Frames() [][]byte {
+	out := [][]byte{}
+	for _, id := range p.order {
+		out = append(out, p.frames[id])
+	}
+	return out
+}

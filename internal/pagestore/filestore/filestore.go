@@ -1,0 +1,436 @@
+// Package filestore implements the pagestore.Backend contract over real
+// files: a page file (data.db) plus an append-only on-disk write-ahead log
+// (wal.log) with explicit fsync discipline. It converts the repo's
+// recovery audits from claims about a map into claims about bytes on disk,
+// while keeping the exact crash semantics the audits rely on:
+//
+//   - A mutation is acknowledged (Put/Del returns nil) only after its log
+//     record is on the platter — append, then fsync, then ack.
+//   - Power-off loses everything the device had not synced: the file is
+//     truncated back to the synced frontier, keeping at most a torn prefix
+//     of the record that was in flight.
+//   - Power-on reloads the page file, then replays the log sequentially;
+//     a torn or corrupt tail is detected by per-record crc32 and truncated
+//     away. Replay skips records already folded into the page file (each
+//     record carries a monotone sequence number; data.db records the fold
+//     horizon), so a crash between fold and log truncation cannot replay
+//     stale images over newer ones.
+//
+// When the log grows past Config.FoldBytes, the store folds: it writes the
+// full page image to data.db.tmp, fsyncs, renames over data.db (atomic on
+// POSIX), fsyncs the directory, and only then truncates the log. The fold
+// runs BEFORE the triggering record is appended, so a crash mid-fold can
+// only lose unacknowledged work.
+//
+// File layout (big-endian, crc32-IEEE):
+//
+//	wal.log   sequence of records:
+//	          seq u64 · op u8 (1=put 2=del) · id u64 · version u64 ·
+//	          len u32 · data · crc u32 (over all preceding record bytes)
+//	data.db   magic "PAGEDB1\n" · foldSeq u64 · pageSize u32 · count u32 ·
+//	          then per page (ascending id):
+//	          id u64 · version u64 · len u32 · data · crc u32
+//
+// Fault injection: the backend implements pagestore.FileInjectable. An
+// installed pagestore.FileHook is consulted before every file operation
+// (append, sync, fold page-write, log truncate) and can cut power cleanly,
+// tear the record's bytes, or lose the sync — see pagestore/filefault.go.
+// The backend is not safe for concurrent use by itself; the owning
+// pagestore.Store serializes all access.
+package filestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/pagestore"
+)
+
+const (
+	walName  = "wal.log"
+	dataName = "data.db"
+	tmpName  = "data.db.tmp"
+
+	opPut = 1
+	opDel = 2
+
+	// walHdrLen is seq(8) + op(1) + id(8) + version(8) + len(4).
+	walHdrLen = 29
+
+	// DefaultFoldBytes is the log size that triggers a fold into the page
+	// file.
+	DefaultFoldBytes = 1 << 20
+)
+
+var dataMagic = [8]byte{'P', 'A', 'G', 'E', 'D', 'B', '1', '\n'}
+
+// ErrCorrupt is wrapped by unrecoverable on-disk corruption (a damaged
+// page file; torn log tails are recovered from, not errors).
+var ErrCorrupt = errors.New("filestore: corrupt")
+
+// Config tunes a file-backed store.
+type Config struct {
+	// FoldBytes folds the log into the page file when the log exceeds this
+	// many bytes; 0 means DefaultFoldBytes.
+	FoldBytes int64
+}
+
+type pageRec struct {
+	data    []byte
+	version uint64
+}
+
+// Backend is the file-backed pagestore.Backend. Obtain one through Open /
+// OpenConfig, which wrap it in a pagestore.Store.
+type Backend struct {
+	dir      string
+	pageSize int
+	fold     int64
+
+	wal *os.File
+
+	// pages mirrors the durable-or-acknowledged state for reads; power-on
+	// rebuilds it from the files, so after every crash it reflects exactly
+	// the bytes that survived.
+	pages   map[pagestore.PageID]pageRec
+	nextSeq uint64
+	foldSeq uint64
+
+	walSize   int64 // bytes appended (acknowledged into the OS file)
+	walSynced int64 // bytes known to be on the platter
+	tornStart int64 // offset of a torn in-flight record, -1 when none
+	tornLen   int64
+
+	hook    pagestore.FileHook
+	fileOps int64
+
+	closed       bool
+	folds        int64
+	tornDetected int64
+}
+
+// Open opens (creating if needed) a file-backed store rooted at dir with
+// the default configuration.
+func Open(dir string, pageSize int) (*pagestore.Store, error) {
+	return OpenConfig(dir, pageSize, Config{})
+}
+
+// OpenConfig opens (creating if needed) a file-backed store rooted at dir.
+func OpenConfig(dir string, pageSize int, cfg Config) (*pagestore.Store, error) {
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("filestore: page size must be positive")
+	}
+	fold := cfg.FoldBytes
+	if fold <= 0 {
+		fold = DefaultFoldBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	b := &Backend{
+		dir:       dir,
+		pageSize:  pageSize,
+		fold:      fold,
+		wal:       wal,
+		tornStart: -1,
+	}
+	if err := b.PowerOn(); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	return pagestore.NewOn(pageSize, b), nil
+}
+
+// Dir reports the directory holding the store's files.
+func (b *Backend) Dir() string { return b.dir }
+
+// Folds reports how many times the log has been folded into the page file.
+func (b *Backend) Folds() int64 { return b.folds }
+
+// TornDetected reports how many power-ons truncated a torn or corrupt log
+// tail.
+func (b *Backend) TornDetected() int64 { return b.tornDetected }
+
+// SetFileHook implements pagestore.FileInjectable.
+func (b *Backend) SetFileHook(h pagestore.FileHook) { b.hook = h }
+
+// FileOps implements pagestore.FileInjectable.
+func (b *Backend) FileOps() int64 { return b.fileOps }
+
+// fire presents one file operation to the hook, degrading faults that do
+// not apply to this operation kind (a sync has no bytes to tear; only a
+// sync can be lost or lyingly skipped).
+func (b *Backend) fire(op pagestore.FileOp, name string) pagestore.FileFault {
+	b.fileOps++
+	if b.hook == nil {
+		return pagestore.FileOK
+	}
+	f := b.hook(op, name, b.fileOps)
+	switch op {
+	case pagestore.FileAppend, pagestore.FilePageWrite:
+		if f == pagestore.FileLostSync {
+			f = pagestore.FileCrash
+		}
+		if f == pagestore.FileSkipSync {
+			f = pagestore.FileOK
+		}
+	case pagestore.FileSync:
+		if f == pagestore.FileTorn {
+			f = pagestore.FileCrash
+		}
+	case pagestore.FileTruncate:
+		if f == pagestore.FileTorn || f == pagestore.FileLostSync {
+			f = pagestore.FileCrash
+		}
+		if f == pagestore.FileSkipSync {
+			f = pagestore.FileOK
+		}
+	}
+	return f
+}
+
+// PowerOff applies the medium's loss semantics: unsynced log bytes vanish
+// from the device cache, and a torn in-flight record survives only when it
+// sits exactly at the synced frontier (otherwise it was behind lost cached
+// bytes and is gone too). Idempotent.
+func (b *Backend) PowerOff() {
+	if b.closed {
+		return
+	}
+	persist := b.walSynced
+	if b.tornStart >= 0 && b.tornStart == b.walSynced {
+		persist += b.tornLen
+	}
+	b.wal.Truncate(persist)
+	b.wal.Sync()
+	b.walSize, b.walSynced = persist, persist
+	b.tornStart, b.tornLen = -1, 0
+}
+
+// PowerOn rebuilds the in-memory mirror from the files: remove any
+// incomplete fold, load the page file, replay the log (skipping records at
+// or below the fold horizon), and truncate away a torn or corrupt tail.
+func (b *Backend) PowerOn() error {
+	if b.closed {
+		return pagestore.ErrClosed
+	}
+	os.Remove(filepath.Join(b.dir, tmpName))
+
+	pages, foldSeq, err := loadDataFile(filepath.Join(b.dir, dataName), b.pageSize)
+	if err != nil {
+		return err
+	}
+	b.pages, b.foldSeq = pages, foldSeq
+
+	raw, err := io.ReadAll(io.NewSectionReader(b.wal, 0, 1<<62))
+	if err != nil {
+		return fmt.Errorf("filestore: reading %s: %w", walName, err)
+	}
+	off := int64(0)
+	maxSeq := foldSeq
+	for int64(len(raw))-off >= walHdrLen+4 {
+		hdr := raw[off : off+walHdrLen]
+		seq := binary.BigEndian.Uint64(hdr[:8])
+		op := hdr[8]
+		id := pagestore.PageID(binary.BigEndian.Uint64(hdr[9:17]))
+		version := binary.BigEndian.Uint64(hdr[17:25])
+		n := int64(binary.BigEndian.Uint32(hdr[25:29]))
+		if (op != opPut && op != opDel) || n > int64(b.pageSize) ||
+			int64(len(raw))-off < walHdrLen+n+4 {
+			break // torn or corrupt tail
+		}
+		body := raw[off+walHdrLen : off+walHdrLen+n]
+		want := binary.BigEndian.Uint32(raw[off+walHdrLen+n : off+walHdrLen+n+4])
+		if crc32.ChecksumIEEE(raw[off:off+walHdrLen+n]) != want {
+			break // torn or corrupt tail
+		}
+		if seq > foldSeq {
+			if op == opPut {
+				buf := make([]byte, n)
+				copy(buf, body)
+				b.pages[id] = pageRec{data: buf, version: version}
+			} else {
+				delete(b.pages, id)
+			}
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		off += walHdrLen + n + 4
+	}
+	if off < int64(len(raw)) {
+		b.tornDetected++
+		if err := b.wal.Truncate(off); err != nil {
+			return fmt.Errorf("filestore: truncating torn tail of %s: %w", walName, err)
+		}
+		if err := b.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	b.walSize, b.walSynced = off, off
+	b.nextSeq = maxSeq + 1
+	b.tornStart, b.tornLen = -1, 0
+	return nil
+}
+
+// Close flushes and closes the files. Idempotent.
+func (b *Backend) Close() error {
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	if err := b.wal.Sync(); err != nil {
+		b.wal.Close()
+		return err
+	}
+	return b.wal.Close()
+}
+
+func (b *Backend) Get(id pagestore.PageID) ([]byte, uint64, bool) {
+	p, ok := b.pages[id]
+	if !ok {
+		return nil, 0, false
+	}
+	return p.data, p.version, true
+}
+
+func (b *Backend) Has(id pagestore.PageID) bool { _, ok := b.pages[id]; return ok }
+func (b *Backend) Len() int                     { return len(b.pages) }
+
+func (b *Backend) Keys() []pagestore.PageID {
+	out := make([]pagestore.PageID, 0, len(b.pages))
+	for id := range b.pages {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (b *Backend) Put(id pagestore.PageID, data []byte, version uint64) error {
+	return b.appendRec(opPut, id, data, version)
+}
+
+func (b *Backend) Del(id pagestore.PageID) error {
+	return b.appendRec(opDel, id, nil, 0)
+}
+
+// appendRec is the single mutation path: fold if due, append the record,
+// fsync, acknowledge, then update the mirror. The fold runs before the
+// append so a mid-fold crash only ever loses the not-yet-acknowledged
+// record.
+func (b *Backend) appendRec(op byte, id pagestore.PageID, data []byte, version uint64) error {
+	if b.closed {
+		return pagestore.ErrClosed
+	}
+	if b.walSize >= b.fold {
+		if err := b.foldNow(); err != nil {
+			return err
+		}
+	}
+	rec := encodeWalRec(b.nextSeq, op, id, version, data)
+	switch b.fire(pagestore.FileAppend, walName) {
+	case pagestore.FileCrash:
+		b.PowerOff()
+		return pagestore.ErrCrashed
+	case pagestore.FileTorn:
+		// A strict prefix of the record reaches the platter before the
+		// lights go out.
+		pfx := rec[:len(rec)/2]
+		b.wal.WriteAt(pfx, b.walSize)
+		b.tornStart, b.tornLen = b.walSize, int64(len(pfx))
+		b.PowerOff()
+		return pagestore.ErrCrashed
+	}
+	if _, err := b.wal.WriteAt(rec, b.walSize); err != nil {
+		return fmt.Errorf("filestore: appending to %s: %w", walName, err)
+	}
+	b.walSize += int64(len(rec))
+	switch b.fire(pagestore.FileSync, walName) {
+	case pagestore.FileCrash, pagestore.FileLostSync:
+		b.PowerOff()
+		return pagestore.ErrCrashed
+	case pagestore.FileSkipSync:
+		// The lying device: acknowledge without syncing. walSynced stays
+		// behind, so the next power-off silently drops this acknowledged
+		// record — the contract violation negative tests arm on purpose.
+	default:
+		if err := b.wal.Sync(); err != nil {
+			return fmt.Errorf("filestore: fsync %s: %w", walName, err)
+		}
+		b.walSynced = b.walSize
+	}
+	b.nextSeq++
+	if op == opPut {
+		b.pages[id] = pageRec{data: data, version: version}
+	} else {
+		delete(b.pages, id)
+	}
+	return nil
+}
+
+// foldNow checkpoints the mirror into data.db (write temp, fsync, rename,
+// fsync dir) and then truncates the log. data.db carries the sequence
+// number of the last folded record, so replay after any crash in this
+// window skips exactly the records the fold absorbed.
+func (b *Backend) foldNow() error {
+	lastSeq := b.nextSeq - 1
+	img := encodeDataFile(b.pages, lastSeq, b.pageSize)
+	tmpPath := filepath.Join(b.dir, tmpName)
+	switch b.fire(pagestore.FilePageWrite, tmpName) {
+	case pagestore.FileCrash:
+		b.PowerOff()
+		return pagestore.ErrCrashed
+	case pagestore.FileTorn:
+		os.WriteFile(tmpPath, img[:len(img)/2], 0o644)
+		b.PowerOff()
+		return pagestore.ErrCrashed
+	}
+	if err := writeFileSync(tmpPath, img); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, filepath.Join(b.dir, dataName)); err != nil {
+		return err
+	}
+	if err := syncDir(b.dir); err != nil {
+		return err
+	}
+	b.foldSeq = lastSeq
+	switch b.fire(pagestore.FileTruncate, walName) {
+	case pagestore.FileCrash:
+		// The fold is durable; only the (now-redundant) log survives. The
+		// fold horizon in data.db keeps replay from regressing pages.
+		b.PowerOff()
+		return pagestore.ErrCrashed
+	}
+	if err := b.wal.Truncate(0); err != nil {
+		return fmt.Errorf("filestore: truncating %s: %w", walName, err)
+	}
+	if err := b.wal.Sync(); err != nil {
+		return err
+	}
+	b.walSize, b.walSynced = 0, 0
+	b.folds++
+	return nil
+}
+
+func encodeWalRec(seq uint64, op byte, id pagestore.PageID, version uint64, data []byte) []byte {
+	rec := make([]byte, 0, walHdrLen+len(data)+4)
+	rec = binary.BigEndian.AppendUint64(rec, seq)
+	rec = append(rec, op)
+	rec = binary.BigEndian.AppendUint64(rec, uint64(id))
+	rec = binary.BigEndian.AppendUint64(rec, version)
+	rec = binary.BigEndian.AppendUint32(rec, uint32(len(data)))
+	rec = append(rec, data...)
+	rec = binary.BigEndian.AppendUint32(rec, crc32.ChecksumIEEE(rec))
+	return rec
+}

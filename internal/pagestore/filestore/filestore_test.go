@@ -1,0 +1,337 @@
+package filestore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pagestore"
+)
+
+func openT(t *testing.T, dir string, pageSize int, cfg Config) *pagestore.Store {
+	t.Helper()
+	s, err := OpenConfig(dir, pageSize, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func backend(t *testing.T, s *pagestore.Store) *Backend {
+	t.Helper()
+	b, ok := s.Backend().(*Backend)
+	if !ok {
+		t.Fatalf("backend is %T, want *filestore.Backend", s.Backend())
+	}
+	return b
+}
+
+func TestRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 64, Config{})
+	if err := s.Write(7, []byte("hello disk"), 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(9, []byte("second"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(9); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process: everything acknowledged must come back from the files.
+	s2 := openT(t, dir, 64, Config{})
+	got, ver, err := s2.Read(7)
+	if err != nil || !bytes.Equal(got, []byte("hello disk")) || ver != 42 {
+		t.Fatalf("after reopen: %q v%d %v", got, ver, err)
+	}
+	if ok, _ := s2.Exists(9); ok {
+		t.Fatal("deleted page resurrected by reopen")
+	}
+}
+
+func TestClosedStoreFails(t *testing.T) {
+	s := openT(t, t.TempDir(), 64, Config{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(1, []byte("x"), 0); !errors.Is(err, pagestore.ErrClosed) {
+		t.Fatalf("write after close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestFoldAndReplayHorizon(t *testing.T) {
+	// A tiny fold threshold forces many folds; the fold horizon must keep
+	// log replay from regressing folded pages, across both Reset and a
+	// genuine reopen.
+	dir := t.TempDir()
+	s := openT(t, dir, 32, Config{FoldBytes: 256})
+	for i := 0; i < 50; i++ {
+		id := pagestore.PageID(i % 7)
+		if err := s.Write(id, []byte{byte(i), byte(i >> 8)}, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if backend(t, s).Folds() == 0 {
+		t.Fatal("no fold happened below a 256-byte threshold")
+	}
+	check := func(s *pagestore.Store) {
+		t.Helper()
+		for id := 0; id < 7; id++ {
+			last := 49 - (49-id)%7 + 0 // latest i with i%7 == id
+			for i := 49; i >= 0; i-- {
+				if i%7 == id {
+					last = i
+					break
+				}
+			}
+			got, ver, err := s.Read(pagestore.PageID(id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != byte(last) || ver != uint64(last) {
+				t.Fatalf("page %d = %v v%d, want value of write %d", id, got, ver, last)
+			}
+		}
+	}
+	if err := s.Reset(); err != nil { // power-cycle in place
+		t.Fatal(err)
+	}
+	check(s)
+	s.Close()
+	s2 := openT(t, dir, 32, Config{})
+	check(s2)
+}
+
+// hookAt returns a FileHook injecting fault f at the n-th file operation
+// (counted over the store's lifetime), once.
+func hookAt(n int64, f pagestore.FileFault) pagestore.FileHook {
+	fired := false
+	return func(op pagestore.FileOp, name string, seq int64) pagestore.FileFault {
+		if !fired && seq == n {
+			fired = true
+			return f
+		}
+		return pagestore.FileOK
+	}
+}
+
+func TestCrashBetweenWriteAndSync(t *testing.T) {
+	// Cut power at the fsync of the second mutation: the first write is
+	// acknowledged and must survive; the second was never acknowledged and
+	// must be gone after power-on.
+	s := openT(t, t.TempDir(), 64, Config{})
+	if !s.SetFileHook(hookAt(4, pagestore.FileCrash)) { // ops: append(1) sync(2) append(3) sync(4)
+		t.Fatal("file hook rejected")
+	}
+	if err := s.Write(1, []byte("keep"), 1); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Write(2, []byte("lose"), 1)
+	if !errors.Is(err, pagestore.ErrCrashed) {
+		t.Fatalf("write at lost sync: %v", err)
+	}
+	if !s.Crashed() {
+		t.Fatal("store not crashed")
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := s.Read(1); err != nil || string(got) != "keep" {
+		t.Fatalf("acknowledged write lost: %q %v", got, err)
+	}
+	if ok, _ := s.Exists(2); ok {
+		t.Fatal("unacknowledged write survived")
+	}
+}
+
+func TestTornWriteDetectedAndDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 64, Config{})
+	if err := s.Write(1, []byte("keep"), 1); err != nil {
+		t.Fatal(err)
+	}
+	s.SetFileHook(hookAt(3, pagestore.FileTorn)) // the second append
+	if err := s.Write(2, []byte("torn!"), 1); !errors.Is(err, pagestore.ErrCrashed) {
+		t.Fatalf("torn write: %v", err)
+	}
+	// The torn prefix is physically in the file.
+	fi, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := int64(walHdrLen + len("keep") + 4)
+	if fi.Size() <= full {
+		t.Fatalf("wal.log has %d bytes; expected a torn prefix beyond %d", fi.Size(), full)
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if backend(t, s).TornDetected() == 0 {
+		t.Fatal("torn tail not detected at power-on")
+	}
+	if got, _, err := s.Read(1); err != nil || string(got) != "keep" {
+		t.Fatalf("acknowledged write lost: %q %v", got, err)
+	}
+	if ok, _ := s.Exists(2); ok {
+		t.Fatal("torn write survived")
+	}
+	// The file was truncated back to the clean prefix.
+	if fi, _ := os.Stat(filepath.Join(dir, walName)); fi.Size() != full {
+		t.Fatalf("wal.log = %d bytes after truncation, want %d", fi.Size(), full)
+	}
+}
+
+func TestLostSyncLosesOnlyUnacknowledged(t *testing.T) {
+	s := openT(t, t.TempDir(), 64, Config{})
+	if err := s.Write(1, []byte("keep"), 1); err != nil {
+		t.Fatal(err)
+	}
+	s.SetFileHook(hookAt(4, pagestore.FileLostSync))
+	if err := s.Write(2, []byte("lose"), 1); !errors.Is(err, pagestore.ErrCrashed) {
+		t.Fatal("lost sync must fail the write")
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Exists(2); ok {
+		t.Fatal("write whose sync was lost survived")
+	}
+	if ok, _ := s.Exists(1); !ok {
+		t.Fatal("synced write lost")
+	}
+}
+
+func TestSkipSyncViolatesDurability(t *testing.T) {
+	// The lying device: the fsync is acknowledged but skipped. The write
+	// returns nil — and a later power cut loses it anyway. This is the
+	// negative control proving the store can express (and the audits can
+	// catch) a genuine durability violation; see faultinj's
+	// TestFileSweepCatchesLyingSync for the audit side.
+	s := openT(t, t.TempDir(), 64, Config{})
+	fired := false
+	s.SetFileHook(func(op pagestore.FileOp, name string, seq int64) pagestore.FileFault {
+		if op == pagestore.FileSync && !fired {
+			fired = true
+			return pagestore.FileSkipSync
+		}
+		return pagestore.FileOK
+	})
+	if err := s.Write(1, []byte("acked"), 1); err != nil {
+		t.Fatalf("skip-sync write must be (falsely) acknowledged: %v", err)
+	}
+	// Power cut via the page-level budget.
+	s.SetWriteBudget(0)
+	if err := s.Write(2, []byte("x"), 1); !errors.Is(err, pagestore.ErrCrashed) {
+		t.Fatal("budget crash expected")
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Exists(1); ok {
+		t.Fatal("skip-sync write survived power-off — the test device failed to lie")
+	}
+}
+
+func TestCrashDuringFold(t *testing.T) {
+	// Cut power at the fold's page-file write and at its log truncate; in
+	// both cases every acknowledged write must survive power-on.
+	for _, fault := range []pagestore.FileFault{pagestore.FileCrash, pagestore.FileTorn} {
+		for _, foldOp := range []pagestore.FileOp{pagestore.FilePageWrite, pagestore.FileTruncate} {
+			dir := t.TempDir()
+			s := openT(t, dir, 32, Config{FoldBytes: 256})
+			want := map[pagestore.PageID][]byte{}
+			armed := false
+			s.SetFileHook(func(op pagestore.FileOp, name string, seq int64) pagestore.FileFault {
+				if armed && op == foldOp {
+					armed = false
+					return fault
+				}
+				return pagestore.FileOK
+			})
+			var crashedAt pagestore.PageID = -1
+			for i := 0; i < 120 && crashedAt < 0; i++ {
+				if i == 40 {
+					armed = true // fault the next fold
+				}
+				id := pagestore.PageID(i % 7)
+				data := []byte{byte(i), 0xAB}
+				if err := s.Write(id, data, uint64(i)); err != nil {
+					if !errors.Is(err, pagestore.ErrCrashed) {
+						t.Fatal(err)
+					}
+					crashedAt = id
+					break
+				}
+				want[id] = data
+			}
+			if crashedAt < 0 {
+				t.Fatalf("fold fault %v@%v never fired", fault, foldOp)
+			}
+			if err := s.Reset(); err != nil {
+				t.Fatal(err)
+			}
+			for id, data := range want {
+				got, _, err := s.Read(id)
+				if err != nil || !bytes.Equal(got, data) {
+					t.Fatalf("fold fault %v@%v: page %d = %q %v, want %q",
+						fault, foldOp, id, got, err, data)
+				}
+			}
+			s.Close()
+		}
+	}
+}
+
+func TestDurabilityPropertyOnFiles(t *testing.T) {
+	// The same property the in-memory store guarantees, on real files with
+	// file-level crash injection: every acknowledged write survives
+	// power-off + power-on.
+	f := func(values []uint8, crashOp uint8) bool {
+		dir := t.TempDir()
+		s, err := OpenConfig(dir, 16, Config{FoldBytes: 128})
+		if err != nil {
+			return false
+		}
+		defer s.Close()
+		n := int64(crashOp%64) + 1
+		fault := pagestore.FileCrash
+		if crashOp%3 == 1 {
+			fault = pagestore.FileTorn
+		} else if crashOp%3 == 2 {
+			fault = pagestore.FileLostSync
+		}
+		s.SetFileHook(hookAt(n, fault))
+		acked := map[pagestore.PageID][]byte{}
+		for i, v := range values {
+			id := pagestore.PageID(i % 8)
+			data := []byte{v, byte(i)}
+			if err := s.Write(id, data, uint64(i)); err == nil {
+				acked[id] = data
+			}
+		}
+		if err := s.Reset(); err != nil {
+			return false
+		}
+		for id, want := range acked {
+			got, _, err := s.Read(id)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,12 +8,29 @@
 // engine and as a timestamp by the shadow engines) written atomically with
 // the page contents — the moral equivalent of a page header.
 //
+// The contract is total: EVERY stable-storage operation — Read, Write,
+// Delete, and the Exists probe — fails with ErrCrashed while the power is
+// off, and every one of them advances the operation sequence a FaultHook
+// observes. Nothing is readable from a crashed store, and no operation is
+// invisible to a crash sweep.
+//
+// Store separates the contract from the medium: the crash state, fault
+// hooks, budget, and statistics live in Store, while the bytes live behind
+// the Backend interface. New builds the in-memory backend (the simulated
+// disk the experiments run on); internal/pagestore/filestore implements the
+// same contract over a real page file and an on-disk write-ahead log with
+// explicit fsync discipline, so the same recovery audits run against bytes
+// on disk.
+//
 // Fault injection: SetWriteBudget arms a countdown; when it reaches zero
 // the store "crashes" — every subsequent operation fails with ErrCrashed
-// until Reset is called. This lets tests cut power at any write boundary.
-// For systematic crash-point sweeps, SetFaultHook installs an arbitrary
-// predicate consulted before every read, write, and delete; returning true
-// cuts power at exactly that operation (see internal/faultinj).
+// until Reset is called. This lets tests cut power at any mutation
+// boundary (writes AND deletes are charged). For systematic crash-point
+// sweeps, SetFaultHook installs an arbitrary predicate consulted before
+// every read, write, delete, and existence probe; returning true cuts
+// power at exactly that operation (see internal/faultinj). File-backed
+// stores additionally expose file-operation-granularity injection through
+// SetFileHook (torn writes, lost fsyncs; see filefault.go).
 package pagestore
 
 import (
@@ -33,15 +50,16 @@ var ErrCrashed = errors.New("pagestore: store has crashed (write budget exhauste
 // ErrNotFound is returned when reading a page that was never written.
 var ErrNotFound = errors.New("pagestore: page not found")
 
-type page struct {
-	data    []byte
-	version uint64
-}
+// ErrClosed is returned by operations on a store whose backend has been
+// closed.
+var ErrClosed = errors.New("pagestore: store is closed")
 
 // Op identifies a stable-storage operation presented to a FaultHook.
 type Op uint8
 
-// The operations a FaultHook observes.
+// The operations a FaultHook observes. Existence probes (Store.Exists)
+// present as OpRead: they read device state even though they transfer no
+// page bytes.
 const (
 	OpRead Op = iota
 	OpWrite
@@ -61,24 +79,99 @@ func (o Op) String() string {
 	return "op?"
 }
 
-// A FaultHook is consulted before every read, write, and delete on a live
-// store. Returning true cuts power at exactly that operation: the op fails
-// with ErrCrashed and the store stays down until Reset. seq is the store's
-// monotone operation sequence number (1-based, counting every hooked op over
-// the store's whole lifetime — Reset does not rewind it), so a sweep can
-// enumerate crash points exhaustively. The hook runs with the store's lock
-// held and must not call back into the store.
+// A FaultHook is consulted before every read, write, delete, and existence
+// probe on a live store. Returning true cuts power at exactly that
+// operation: the op fails with ErrCrashed and the store stays down until
+// Reset. seq is the store's monotone operation sequence number (1-based,
+// counting every hooked op over the store's whole lifetime — Reset does not
+// rewind it), so a sweep can enumerate crash points exhaustively. The hook
+// runs with the store's lock held and must not call back into the store.
 type FaultHook func(op Op, id PageID, seq int64) bool
 
-// Store is an in-memory simulated disk. The zero value is not usable; create
-// one with New. Store is safe for concurrent use.
+// Backend stores the bytes for a Store. The Store owns the crash contract
+// (ErrCrashed gating, fault hooks, budget, stats) and calls the backend
+// only while live; backends own the medium.
+//
+// Buffer ownership: Put receives a buffer the backend may retain; Get may
+// return an internal buffer (the Store copies before handing it to
+// callers).
+//
+// PowerOff models losing power: whatever the medium would lose, it loses
+// now (the in-memory backend loses nothing — its "platter" is the map; the
+// file backend drops unsynced bytes and keeps at most a torn prefix of an
+// in-flight record). PowerOn models restart: the backend rebuilds its
+// state from the medium and reports corruption it cannot recover from.
+// Both must be idempotent.
+type Backend interface {
+	Get(id PageID) (data []byte, version uint64, ok bool)
+	Put(id PageID, data []byte, version uint64) error
+	Del(id PageID) error
+	Has(id PageID) bool
+	Len() int
+	Keys() []PageID // ascending id order (determinism is part of the contract)
+	PowerOff()
+	PowerOn() error
+	Close() error
+}
+
+// memBackend is the volatile simulated disk: a map whose contents survive
+// power-off by construction (the map is the platter).
+type memBackend struct {
+	pages map[PageID]memPage
+}
+
+type memPage struct {
+	data    []byte
+	version uint64
+}
+
+func newMemBackend() *memBackend { return &memBackend{pages: make(map[PageID]memPage)} }
+
+func (m *memBackend) Get(id PageID) ([]byte, uint64, bool) {
+	p, ok := m.pages[id]
+	if !ok {
+		return nil, 0, false
+	}
+	return p.data, p.version, true
+}
+
+func (m *memBackend) Put(id PageID, data []byte, version uint64) error {
+	m.pages[id] = memPage{data: data, version: version}
+	return nil
+}
+
+func (m *memBackend) Del(id PageID) error {
+	delete(m.pages, id)
+	return nil
+}
+
+func (m *memBackend) Has(id PageID) bool { _, ok := m.pages[id]; return ok }
+func (m *memBackend) Len() int           { return len(m.pages) }
+
+func (m *memBackend) Keys() []PageID {
+	out := make([]PageID, 0, len(m.pages))
+	for id := range m.pages {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (m *memBackend) PowerOff()      {}
+func (m *memBackend) PowerOn() error { return nil }
+func (m *memBackend) Close() error   { return nil }
+
+// Store is a simulated disk with a crash-consistency contract. The zero
+// value is not usable; create one with New (in-memory) or NewOn (any
+// Backend, e.g. filestore.Open). Store is safe for concurrent use.
 type Store struct {
 	mu       sync.Mutex
 	pageSize int
-	pages    map[PageID]page
+	be       Backend
 
 	writeBudget int64 // -1 = unlimited
 	crashed     bool
+	closed      bool
 	hook        FaultHook
 	opSeq       int64
 
@@ -86,38 +179,78 @@ type Store struct {
 	writes int64
 }
 
-// New returns a Store for pages of exactly pageSize bytes.
-func New(pageSize int) *Store {
+// New returns an in-memory Store for pages of exactly pageSize bytes.
+func New(pageSize int) *Store { return NewOn(pageSize, newMemBackend()) }
+
+// NewOn returns a Store for pages of exactly pageSize bytes over backend
+// be. The store takes ownership of the backend.
+func NewOn(pageSize int, be Backend) *Store {
 	if pageSize <= 0 {
 		panic("pagestore: page size must be positive")
 	}
+	if be == nil {
+		panic("pagestore: nil backend")
+	}
 	return &Store{
 		pageSize:    pageSize,
-		pages:       make(map[PageID]page),
+		be:          be,
 		writeBudget: -1,
 	}
+}
+
+// Backend returns the store's backend (for experimenters that need the
+// medium itself, e.g. to find a file-backed store's directory). Callers
+// must not mutate pages through it while the store is in use.
+func (s *Store) Backend() Backend {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.be
 }
 
 // PageSize reports the page size in bytes.
 func (s *Store) PageSize() int { return s.pageSize }
 
-// Write atomically replaces page id with data and its version word. The
-// write is durable once Write returns nil.
-func (s *Store) Write(id PageID, data []byte, version uint64) error {
-	if len(data) > s.pageSize {
-		return fmt.Errorf("pagestore: page %d: %d bytes exceeds page size %d",
-			id, len(data), s.pageSize)
+// crash cuts power: the store enters the crashed state and the backend
+// applies its medium's loss semantics. Callers hold s.mu.
+func (s *Store) crash() {
+	s.crashed = true
+	s.be.PowerOff()
+}
+
+// backendErr translates a backend failure. A backend that reports
+// ErrCrashed has had power cut by an injected file fault and has already
+// applied its own loss semantics; the store just records the outage.
+// Callers hold s.mu.
+func (s *Store) backendErr(err error) error {
+	if errors.Is(err, ErrCrashed) {
+		s.crashed = true
 	}
+	return err
+}
+
+// Write atomically replaces page id with data and its version word. The
+// write is durable once Write returns nil. Checks run in contract order —
+// crashed, fault hook, size, budget — all under the lock, so even an
+// oversize attempt on a crashed store reports ErrCrashed and every attempt
+// is visible in the operation sequence.
+func (s *Store) Write(id PageID, data []byte, version uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	if s.crashed {
 		return ErrCrashed
 	}
 	if s.fire(OpWrite, id) {
 		return ErrCrashed
 	}
+	if len(data) > s.pageSize {
+		return fmt.Errorf("pagestore: page %d: %d bytes exceeds page size %d",
+			id, len(data), s.pageSize)
+	}
 	if s.writeBudget == 0 {
-		s.crashed = true
+		s.crash()
 		return ErrCrashed
 	}
 	if s.writeBudget > 0 {
@@ -125,7 +258,9 @@ func (s *Store) Write(id PageID, data []byte, version uint64) error {
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
-	s.pages[id] = page{data: buf, version: version}
+	if err := s.be.Put(id, buf, version); err != nil {
+		return s.backendErr(err)
+	}
 	s.writes++
 	return nil
 }
@@ -134,52 +269,85 @@ func (s *Store) Write(id PageID, data []byte, version uint64) error {
 func (s *Store) Read(id PageID) ([]byte, uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, 0, ErrClosed
+	}
 	if s.crashed {
 		return nil, 0, ErrCrashed
 	}
 	if s.fire(OpRead, id) {
 		return nil, 0, ErrCrashed
 	}
-	p, ok := s.pages[id]
+	data, version, ok := s.be.Get(id)
 	if !ok {
 		return nil, 0, ErrNotFound
 	}
 	s.reads++
-	buf := make([]byte, len(p.data))
-	copy(buf, p.data)
-	return buf, p.version, nil
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	return buf, version, nil
 }
 
-// Exists reports whether page id has ever been written.
-func (s *Store) Exists(id PageID) bool {
+// Exists reports whether page id is currently stored. It is a
+// stable-storage operation like any other: it fails with ErrCrashed while
+// the power is off and is presented to the fault hook as an OpRead, so a
+// crash sweep can cut power at an existence probe (recovery code paths
+// such as the overwrite engines' intent-slot scan probe storage this way).
+func (s *Store) Exists(id PageID) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.pages[id]
-	return ok
+	if s.closed {
+		return false, ErrClosed
+	}
+	if s.crashed {
+		return false, ErrCrashed
+	}
+	if s.fire(OpRead, id) {
+		return false, ErrCrashed
+	}
+	s.reads++
+	return s.be.Has(id), nil
 }
 
 // Delete removes page id (used by compaction); deleting an absent page is a
-// no-op.
+// no-op. Deletes are stable-storage mutations: they are charged against the
+// write budget and counted in the write statistics exactly like Write, so
+// budget-based injection can land on a delete boundary (several commit
+// points — the overwrite engines' intent-record removal, the WAL's log
+// truncation — ARE deletes).
 func (s *Store) Delete(id PageID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	if s.crashed {
 		return ErrCrashed
 	}
 	if s.fire(OpDelete, id) {
 		return ErrCrashed
 	}
-	delete(s.pages, id)
+	if s.writeBudget == 0 {
+		s.crash()
+		return ErrCrashed
+	}
+	if s.writeBudget > 0 {
+		s.writeBudget--
+	}
+	if err := s.be.Del(id); err != nil {
+		return s.backendErr(err)
+	}
+	s.writes++
 	return nil
 }
 
 // fire advances the operation sequence and consults the fault hook; it
-// reports true (and marks the store crashed) when the hook cuts power here.
-// Callers hold s.mu.
+// reports true (and cuts power) when the hook fires here. Callers hold
+// s.mu.
 func (s *Store) fire(op Op, id PageID) bool {
 	s.opSeq++
 	if s.hook != nil && s.hook(op, id, s.opSeq) {
-		s.crashed = true
+		s.crash()
 		return true
 	}
 	return false
@@ -196,17 +364,17 @@ func (s *Store) SetFaultHook(h FaultHook) {
 }
 
 // OpSeq reports the store's lifetime operation sequence number: the count of
-// reads, writes, and deletes attempted on a live store so far. Reset does
-// not rewind it.
+// reads, writes, deletes, and existence probes attempted on a live store so
+// far. Reset does not rewind it.
 func (s *Store) OpSeq() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.opSeq
 }
 
-// SetWriteBudget arms fault injection: after n more successful writes, the
-// store crashes (all operations fail with ErrCrashed until Reset). n < 0
-// disarms the injection.
+// SetWriteBudget arms fault injection: after n more successful mutations
+// (writes and deletes), the store crashes (all operations fail with
+// ErrCrashed until Reset). n < 0 disarms the injection.
 func (s *Store) SetWriteBudget(n int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -225,17 +393,37 @@ func (s *Store) Crashed() bool {
 	return s.crashed
 }
 
-// Reset brings a crashed store back online (power restored). Stable
-// contents are preserved — that is the point. The write budget is disarmed;
-// an installed fault hook stays armed (see SetFaultHook).
-func (s *Store) Reset() {
+// Reset brings a crashed store back online (power restored). Durable
+// contents are preserved — that is the point; the backend reloads them
+// from its medium (a no-op for memory, a page-file load plus log replay
+// with torn-tail truncation for files) and reports unrecoverable
+// corruption as an error. The write budget is disarmed; an installed fault
+// hook stays armed (see SetFaultHook).
+func (s *Store) Reset() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	s.crashed = false
 	s.writeBudget = -1
+	return s.be.PowerOn()
 }
 
-// Stats reports the number of reads and writes served.
+// Close releases the backend (flushing and closing any files). Every
+// subsequent operation fails with ErrClosed; Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.be.Close()
+}
+
+// Stats reports the number of read operations (reads and existence probes)
+// and mutations (writes and deletes) served.
 func (s *Store) Stats() (reads, writes int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -246,7 +434,7 @@ func (s *Store) Stats() (reads, writes int64) {
 func (s *Store) Pages() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.pages)
+	return s.be.Len()
 }
 
 // Keys returns the ids of all stored pages in ascending order, so the
@@ -255,10 +443,7 @@ func (s *Store) Pages() int {
 func (s *Store) Keys() []PageID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]PageID, 0, len(s.pages))
-	for id := range s.pages {
-		out = append(out, id)
-	}
+	out := s.be.Keys()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

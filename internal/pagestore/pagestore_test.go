@@ -8,6 +8,16 @@ import (
 	"testing/quick"
 )
 
+// mustExists probes page id on a store expected to be live.
+func mustExists(t *testing.T, s *Store, id PageID) bool {
+	t.Helper()
+	ok, err := s.Exists(id)
+	if err != nil {
+		t.Fatalf("Exists(%d): %v", id, err)
+	}
+	return ok
+}
+
 func TestReadWriteRoundTrip(t *testing.T) {
 	s := New(4096)
 	data := []byte("hello recovery")
@@ -54,7 +64,7 @@ func TestMissingPage(t *testing.T) {
 	if _, _, err := s.Read(5); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
-	if s.Exists(5) {
+	if mustExists(t, s, 5) {
 		t.Fatal("absent page exists")
 	}
 }
@@ -91,7 +101,7 @@ func TestWriteBudgetCrash(t *testing.T) {
 	if err != nil || string(got) != "b" {
 		t.Fatalf("after reset: %q %v", got, err)
 	}
-	if s.Exists(3) {
+	if mustExists(t, s, 3) {
 		t.Fatal("failed write became durable")
 	}
 }
@@ -104,7 +114,7 @@ func TestDelete(t *testing.T) {
 	if err := s.Delete(1); err != nil {
 		t.Fatal(err)
 	}
-	if s.Exists(1) {
+	if mustExists(t, s, 1) {
 		t.Fatal("page still exists")
 	}
 	if err := s.Delete(99); err != nil {
@@ -211,10 +221,10 @@ func TestFaultHookCutsPowerAtWrite(t *testing.T) {
 	}
 	// The faulted write never landed.
 	s.Reset()
-	if s.Exists(2) {
+	if mustExists(t, s, 2) {
 		t.Fatal("crashed write became durable")
 	}
-	if !s.Exists(1) {
+	if !mustExists(t, s, 1) {
 		t.Fatal("pre-crash write lost")
 	}
 }
@@ -267,5 +277,127 @@ func TestOpSeqMonotoneAcrossReset(t *testing.T) {
 		if seqs[i] != want {
 			t.Fatalf("seqs = %v, want [1 2]", seqs)
 		}
+	}
+}
+
+// --- Regression tests for the crash-contract holes fixed in this change.
+// Each of these fails against the previous pagestore: Exists ignored the
+// crashed flag and never consulted the fault hook, Delete charged neither
+// the write budget nor the write stats, and Write's size check ran before
+// the crashed check (outside any contract ordering).
+
+func TestExistsRespectsCrash(t *testing.T) {
+	s := New(64)
+	if err := s.Write(1, []byte("a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	s.SetWriteBudget(0)
+	if err := s.Write(2, []byte("b"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("budget crash: %v", err)
+	}
+	// Down means down — an existence probe is a stable-storage read.
+	if _, err := s.Exists(1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Exists on crashed store: %v, want ErrCrashed", err)
+	}
+	s.Reset()
+	if !mustExists(t, s, 1) {
+		t.Fatal("page lost across reset")
+	}
+}
+
+func TestExistsFiresHookAndCountsRead(t *testing.T) {
+	s := New(64)
+	var ops []Op
+	s.SetFaultHook(func(op Op, id PageID, seq int64) bool {
+		ops = append(ops, op)
+		return op == OpRead && seq == 2
+	})
+	if _, err := s.Exists(5); err != nil { // seq 1: survives
+		t.Fatal(err)
+	}
+	if _, err := s.Exists(5); !errors.Is(err, ErrCrashed) { // seq 2: crashes
+		t.Fatalf("hooked Exists: %v, want ErrCrashed", err)
+	}
+	if len(ops) != 2 || ops[0] != OpRead || ops[1] != OpRead {
+		t.Fatalf("hook saw %v, want [OpRead OpRead]", ops)
+	}
+	s.Reset()
+	s.SetFaultHook(nil)
+	before, _ := s.Stats()
+	mustExists(t, s, 5)
+	if after, _ := s.Stats(); after != before+1 {
+		t.Fatalf("Exists did not count as a read: %d -> %d", before, after)
+	}
+}
+
+func TestDeleteChargesBudget(t *testing.T) {
+	s := New(64)
+	for id := PageID(1); id <= 3; id++ {
+		if err := s.Write(id, []byte("x"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetWriteBudget(1)
+	if err := s.Delete(1); err != nil { // spends the last budget unit
+		t.Fatal(err)
+	}
+	if err := s.Delete(2); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("delete beyond budget: %v, want ErrCrashed", err)
+	}
+	if !s.Crashed() {
+		t.Fatal("store not crashed after budget-exhausted delete")
+	}
+	s.Reset()
+	if mustExists(t, s, 1) {
+		t.Fatal("budgeted delete did not stick")
+	}
+	if !mustExists(t, s, 2) {
+		t.Fatal("crashed delete was applied")
+	}
+}
+
+func TestDeleteCountsAsWrite(t *testing.T) {
+	s := New(64)
+	if err := s.Write(1, []byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, w := s.Stats(); w != 2 {
+		t.Fatalf("writes = %d after one write and one delete, want 2", w)
+	}
+}
+
+func TestWriteChecksCrashBeforeSize(t *testing.T) {
+	s := New(4)
+	s.SetWriteBudget(0)
+	if err := s.Write(1, []byte("x"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("budget crash: %v", err)
+	}
+	// An oversize attempt on a crashed store is a crashed-store error, not
+	// a size error: the device is off, nothing examines the payload.
+	if err := s.Write(2, []byte("way too long"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("oversize write on crashed store: %v, want ErrCrashed", err)
+	}
+}
+
+func TestWriteFiresHookBeforeSizeCheck(t *testing.T) {
+	s := New(4)
+	fired := 0
+	s.SetFaultHook(func(op Op, id PageID, seq int64) bool {
+		if op == OpWrite {
+			fired++
+			return true
+		}
+		return false
+	})
+	// The attempt itself is a stable-storage operation: the hook sees it
+	// (and may cut power there) even though the payload is oversized.
+	if err := s.Write(1, []byte("way too long"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("hooked oversize write: %v, want ErrCrashed", err)
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1", fired)
 	}
 }

@@ -140,6 +140,11 @@ func (e *OverwriteEngine) Name() string {
 // journal. Subsequent Recover calls emit their decisions to it.
 func (e *OverwriteEngine) SetJournal(j *obs.Journal) { e.journal = j }
 
+// Stores lists the engine's stable stores for snapshot/backup through the
+// engine.Guard. The store is the thread-safe substrate, exempt from the
+// kernel-state escape rule by contract.
+func (e *OverwriteEngine) Stores() []*pagestore.Store { return []*pagestore.Store{e.store} }
+
 // Load populates page p before transactions run.
 func (e *OverwriteEngine) Load(p int64, data []byte) error {
 	if err := e.store.Write(pagestore.PageID(p), data, 0); err != nil {
@@ -236,7 +241,17 @@ func (e *OverwriteEngine) freeSlot() (int, error) {
 		}
 	}
 	for s := 0; s < intentSlots; s++ {
-		if !used[s] && !e.store.Exists(intentID(s)) {
+		if used[s] {
+			continue
+		}
+		// The slot probe is a stable-storage read: it can hit a crashed
+		// store (and is itself a sweep crash point), so the error must
+		// surface instead of silently treating the slot as free.
+		taken, err := e.store.Exists(intentID(s))
+		if err != nil {
+			return 0, err
+		}
+		if !taken {
 			return s, nil
 		}
 	}
@@ -348,7 +363,9 @@ func (e *OverwriteEngine) Crash() {
 // No-undo: redo the overwrites of committed transactions. No-redo: restore
 // the originals of uncommitted transactions.
 func (e *OverwriteEngine) Recover() error {
-	e.store.Reset()
+	if err := e.store.Reset(); err != nil {
+		return err
+	}
 	for s := 0; s < intentSlots; s++ {
 		buf, _, err := e.store.Read(intentID(s))
 		if errors.Is(err, pagestore.ErrNotFound) {

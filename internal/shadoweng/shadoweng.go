@@ -82,6 +82,11 @@ func (e *Engine) Name() string { return "shadow(page-table)" }
 // journal. Subsequent Recover calls emit their decisions to it.
 func (e *Engine) SetJournal(j *obs.Journal) { e.journal = j }
 
+// Stores lists the engine's stable stores for snapshot/backup through the
+// engine.Guard. The store is the thread-safe substrate, exempt from the
+// kernel-state escape rule by contract.
+func (e *Engine) Stores() []*pagestore.Store { return []*pagestore.Store{e.store} }
+
 // Load populates logical page p before transactions run.
 func (e *Engine) Load(p int64, data []byte) error {
 	blk := e.allocBlock()
@@ -287,7 +292,9 @@ func (e *Engine) Crash() {
 // data blocks (shadow blocks of transactions lost in the crash) are
 // reclaimed onto the free list.
 func (e *Engine) Recover() error {
-	e.store.Reset()
+	if err := e.store.Reset(); err != nil {
+		return err
+	}
 	root, gen, err := e.store.Read(rootPage)
 	if err != nil {
 		return fmt.Errorf("shadoweng: no root: %w", err)

@@ -71,6 +71,11 @@ func (e *VersionEngine) Name() string { return "shadow(version-selection)" }
 // journal. Subsequent Recover calls emit their decisions to it.
 func (e *VersionEngine) SetJournal(j *obs.Journal) { e.journal = j }
 
+// Stores lists the engine's stable stores for snapshot/backup through the
+// engine.Guard. The store is the thread-safe substrate, exempt from the
+// kernel-state escape rule by contract.
+func (e *VersionEngine) Stores() []*pagestore.Store { return []*pagestore.Store{e.store} }
+
 func (e *VersionEngine) writeTS(ts uint64) error {
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], ts)
@@ -244,7 +249,9 @@ func (e *VersionEngine) Crash() {
 // resolves every page to its newest committed version. Tentative stamps
 // above the horizon are garbage that future writes overwrite.
 func (e *VersionEngine) Recover() error {
-	e.store.Reset()
+	if err := e.store.Reset(); err != nil {
+		return err
+	}
 	buf, ts, err := e.store.Read(vsTSPage)
 	if err != nil {
 		return fmt.Errorf("shadoweng: no timestamp page: %w", err)

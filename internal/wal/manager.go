@@ -15,6 +15,11 @@ type Config struct {
 	Streams int
 	// Selection assigns records to streams.
 	Selection Selection
+	// LogStore, when non-nil, holds the log instead of a fresh in-memory
+	// store. It must have page size LogChunkSize. This is the seam that
+	// lets the log live on a file-backed store (pagestore/filestore) while
+	// the manager stays medium-agnostic.
+	LogStore *pagestore.Store
 	// PoolPages is the buffer pool capacity in pages. Default 64.
 	PoolPages int
 	// Seed feeds the Random selection policy.
@@ -85,10 +90,16 @@ type Manager struct {
 // store (exposed by LogStore for fault injection).
 func NewManager(dataStore *pagestore.Store, cfg Config) *Manager {
 	cfg = cfg.withDefaults()
+	logs := cfg.LogStore
+	if logs == nil {
+		logs = pagestore.New(logChunkSize)
+	} else if logs.PageSize() != logChunkSize {
+		panic("wal: Config.LogStore page size must be wal.LogChunkSize")
+	}
 	m := &Manager{
 		cfg:     cfg,
 		data:    dataStore,
-		logs:    pagestore.New(logChunkSize),
+		logs:    logs,
 		sel:     newSelector(cfg.Selection, cfg.Streams, cfg.Seed),
 		nextLSN: 1,
 		pool:    make(map[pagestore.PageID]*bufPage),
@@ -107,6 +118,13 @@ func (m *Manager) Name() string {
 
 // LogStore exposes the log's stable storage for fault injection in tests.
 func (m *Manager) LogStore() *pagestore.Store { return m.logs }
+
+// Stores lists the manager's stable stores (data first, then the log) for
+// snapshot/backup through the engine.Guard. The stores are the thread-safe
+// substrate, exempt from the kernel-state escape rule by contract.
+func (m *Manager) Stores() []*pagestore.Store {
+	return []*pagestore.Store{m.data, m.logs}
+}
 
 // SetJournal attaches (or with nil detaches) the structured recovery
 // journal. Subsequent Recover and Checkpoint calls emit their decisions to
@@ -395,8 +413,12 @@ func (m *Manager) Crash() {
 // restored to both stores, the parallel streams are merged by LSN, committed
 // updates are redone and loser updates undone.
 func (m *Manager) Recover() error {
-	m.data.Reset()
-	m.logs.Reset()
+	if err := m.data.Reset(); err != nil {
+		return err
+	}
+	if err := m.logs.Reset(); err != nil {
+		return err
+	}
 	m.recoveries++
 
 	var all []Record

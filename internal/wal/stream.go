@@ -42,9 +42,14 @@ func (s Selection) String() string {
 	return fmt.Sprintf("selection(%d)", int(s))
 }
 
-// logChunkSize is the stable-write granularity of a log stream. Records
-// never split across chunks.
-const logChunkSize = 1 << 16
+// LogChunkSize is the stable-write granularity of a log stream (and
+// therefore the page size of the log store). Records never split across
+// chunks. Exported so callers supplying their own log store through
+// Config.LogStore (e.g. a file-backed one) can size it correctly.
+const LogChunkSize = 1 << 16
+
+// logChunkSize is the internal alias.
+const logChunkSize = LogChunkSize
 
 // stream is one parallel log stream persisting to its own region of the log
 // store.
